@@ -1,0 +1,38 @@
+"""Ablation: the section-3 design progression (BASE -> EC -> ECS -> HR -> FINAL).
+
+What each step buys, on the workloads that stress it:
+
+* BASE pays eager commit writebacks (bursty bus traffic) and cold caches
+  after every commit and squash;
+* EC adds the C/T bits: one-cycle commits, retained read-only data;
+* ECS adds the A bit: architectural data survives squashes (visible on
+  gcc, the workload with the highest task-misprediction rate);
+* HR adds snarfing against reference spreading;
+* FINAL adds realistic 16-byte lines with per-block L/S, the hybrid
+  update-invalidate protocol and passive-dirty retention.
+"""
+
+import pytest
+
+from conftest import SCALE, record
+from repro.harness.experiments import run_ablation_designs
+
+BENCHES = ("compress", "gcc", "mgrid")
+DESIGNS = ("base", "ec", "ecs", "hr", "final")
+
+
+@pytest.mark.parametrize("bench", BENCHES)
+def test_design_progression(benchmark, bench):
+    result = benchmark.pedantic(
+        run_ablation_designs,
+        kwargs={"benchmarks": (bench,), "designs": DESIGNS, "scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    record(result)
+    ipc = {d: result.point(bench, f"svc_{d}").ipc for d in DESIGNS}
+    benchmark.extra_info.update({d: round(v, 3) for d, v in ipc.items()})
+    # The headline of section 3: lazy commits (EC) must clearly beat the
+    # base design's writeback bursts, and the final design must be the
+    # best (or tied-best) of the progression.
+    assert ipc["ec"] > ipc["base"]
+    assert ipc["final"] >= max(ipc["base"], ipc["ec"]) * 0.95

@@ -1,0 +1,33 @@
+"""Ablation: versioning-block size (RL design, section 3.7).
+
+Coarser versioning blocks save state bits but surface false sharing:
+a store to one word of a block invalidates copies of (and may squash
+loads to) unrelated words sharing the block. Finer blocks approach the
+paper's byte-level disambiguation.
+"""
+
+import pytest
+
+from conftest import SCALE, record
+from repro.harness.experiments import run_ablation_linesize
+
+BENCHES = ("compress", "ijpeg")
+BLOCKS = (4, 8, 16)
+
+
+@pytest.mark.parametrize("bench", BENCHES)
+def test_versioning_block_size(benchmark, bench):
+    result = benchmark.pedantic(
+        run_ablation_linesize,
+        kwargs={"benchmarks": (bench,), "block_sizes": BLOCKS, "scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    record(result)
+    squashes = {}
+    for vbs in BLOCKS:
+        point = result.point(bench, f"svc_vb{vbs}")
+        squashes[vbs] = point.violation_squashes
+        benchmark.extra_info[f"vb{vbs}_ipc"] = round(point.ipc, 3)
+        benchmark.extra_info[f"vb{vbs}_squashes"] = point.violation_squashes
+    # Coarser versioning blocks can only add (false-sharing) squashes.
+    assert squashes[16] >= squashes[4] or squashes[16] == 0

@@ -1,0 +1,38 @@
+"""Ablation (extension): PU-count scaling of SVC vs ARB organizations.
+
+Not a paper artifact — the natural follow-on question the paper's
+conclusion raises ("feasible memory system for proposed next generation
+multiprocessors"): what happens to each organization as PUs multiply?
+The SVC scales task-level parallelism at the cost of bus pressure; the
+2-cycle ARB scales stages but every access still crosses the
+interconnect.
+"""
+
+import pytest
+
+from conftest import SCALE, record
+from repro.harness.experiments import run_ablation_scaling
+
+BENCHES = ("compress", "mgrid")
+PUS = (2, 4, 8)
+
+
+@pytest.mark.parametrize("bench", BENCHES)
+def test_pu_scaling(benchmark, bench):
+    result = benchmark.pedantic(
+        run_ablation_scaling,
+        kwargs={"benchmarks": (bench,), "pu_counts": PUS, "scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    record(result)
+    for n_pus in PUS:
+        svc = result.point(bench, f"svc_{n_pus}pu")
+        arb = result.point(bench, f"arb2c_{n_pus}pu")
+        benchmark.extra_info[f"svc_{n_pus}pu"] = round(svc.ipc, 3)
+        benchmark.extra_info[f"arb2c_{n_pus}pu"] = round(arb.ipc, 3)
+        assert svc.ipc > 0 and arb.ipc > 0
+    # More PUs must not make the contention-free ARB slower.
+    assert (
+        result.point(bench, "arb2c_8pu").ipc
+        >= result.point(bench, "arb2c_2pu").ipc * 0.95
+    )

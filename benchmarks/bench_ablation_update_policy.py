@@ -1,0 +1,29 @@
+"""Ablation: invalidate vs update vs hybrid coherence (section 3.8).
+
+The paper motivates the hybrid: write-update shortens the inter-task
+communication latency through memory; write-invalidate spends less bus
+bandwidth. The hybrid selects per request (here: update copies whose
+task has demonstrated interest, invalidate the rest).
+"""
+
+import pytest
+
+from conftest import SCALE, record
+from repro.common.config import UpdatePolicy
+from repro.harness.experiments import run_ablation_update_policy
+
+BENCHES = ("compress", "gcc", "mgrid")
+
+
+@pytest.mark.parametrize("bench", BENCHES)
+def test_update_policy(benchmark, bench):
+    result = benchmark.pedantic(
+        run_ablation_update_policy,
+        kwargs={"benchmarks": (bench,), "scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    record(result)
+    for policy in UpdatePolicy.ALL:
+        point = result.point(bench, f"svc_{policy}")
+        benchmark.extra_info[policy] = round(point.ipc, 3)
+        assert point.ipc > 0

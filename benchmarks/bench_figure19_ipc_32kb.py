@@ -1,0 +1,30 @@
+"""Figure 19: SPEC95 IPCs for ARB (1-4 cycle hit) and SVC - 32KB total.
+
+Paper series shape: ARB IPC falls as its hit latency rises from 1 to 4
+cycles; the 1-cycle-hit SVC overtakes the contention-free ARB once the
+ARB pays 3 or more cycles per hit.
+"""
+
+import pytest
+
+from conftest import SCALE, record
+from repro.harness.experiments import run_figure19
+from repro.workloads.spec95 import BENCHMARKS
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_figure19_series(benchmark, bench):
+    result = benchmark.pedantic(
+        run_figure19, kwargs={"benchmarks": (bench,), "scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    record(result)
+    ipcs = {
+        machine: result.point(bench, machine).ipc
+        for machine in ("svc_1c", "arb_1c", "arb_2c", "arb_3c", "arb_4c")
+    }
+    benchmark.extra_info.update({k: round(v, 3) for k, v in ipcs.items()})
+    # ARB IPC must be monotonically non-increasing in hit latency.
+    assert ipcs["arb_1c"] >= ipcs["arb_2c"] >= ipcs["arb_3c"] >= ipcs["arb_4c"]
+    # The private-cache SVC must beat the 4-cycle-hit shared ARB.
+    assert ipcs["svc_1c"] > ipcs["arb_4c"]

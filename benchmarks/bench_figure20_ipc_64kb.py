@@ -1,0 +1,28 @@
+"""Figure 20: SPEC95 IPCs for ARB (1-4 cycle hit) and SVC - 64KB total.
+
+Same series as Figure 19 with doubled storage. The paper's headline:
+for 64KB total, the SVC outperforms the 2-cycle-hit ARB by as much as
+8% (mgrid).
+"""
+
+import pytest
+
+from conftest import SCALE, record
+from repro.harness.experiments import run_figure20
+from repro.workloads.spec95 import BENCHMARKS
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_figure20_series(benchmark, bench):
+    result = benchmark.pedantic(
+        run_figure20, kwargs={"benchmarks": (bench,), "scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    record(result)
+    ipcs = {
+        machine: result.point(bench, machine).ipc
+        for machine in ("svc_1c", "arb_1c", "arb_2c", "arb_3c", "arb_4c")
+    }
+    benchmark.extra_info.update({k: round(v, 3) for k, v in ipcs.items()})
+    assert ipcs["arb_1c"] >= ipcs["arb_2c"] >= ipcs["arb_3c"] >= ipcs["arb_4c"]
+    assert ipcs["svc_1c"] > ipcs["arb_4c"]

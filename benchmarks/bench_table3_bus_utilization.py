@@ -1,0 +1,27 @@
+"""Table 3: SVC snooping-bus utilization at 4x8KB and 4x16KB.
+
+The paper reports utilizations between 0.2 and 0.75, with mgrid highest
+(misses to the next level of memory) and the 4x16KB configuration no
+busier than 4x8KB.
+"""
+
+import pytest
+
+from conftest import SCALE, record
+from repro.harness.experiments import run_table3
+from repro.workloads.spec95 import BENCHMARKS
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+def test_table3_point(benchmark, bench):
+    result = benchmark.pedantic(
+        run_table3, kwargs={"benchmarks": (bench,), "scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    record(result)
+    small = result.point(bench, "svc_4x8k")
+    large = result.point(bench, "svc_4x16k")
+    benchmark.extra_info["util_4x8k"] = round(small.bus_utilization, 4)
+    benchmark.extra_info["util_4x16k"] = round(large.bus_utilization, 4)
+    assert 0.0 < small.bus_utilization <= 1.0
+    assert 0.0 < large.bus_utilization <= 1.0

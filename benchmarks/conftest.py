@@ -1,0 +1,71 @@
+"""Shared plumbing for the reproduction benchmarks.
+
+Each bench module accumulates its measured points in the registry; at
+session end the paper-style tables/series are printed and written to
+``benchmarks/results/``. ``REPRO_SCALE`` (default 0.35 here) scales the
+synthetic workloads; raise it toward 1.0+ for steadier statistics.
+"""
+
+import os
+from pathlib import Path
+
+from repro.harness.experiments import ExperimentResult
+
+#: Workload scale used by every bench module.
+SCALE = float(os.environ.get("REPRO_SCALE", "0.35"))
+
+_RESULTS = {}
+
+
+def record(result: ExperimentResult) -> None:
+    """Merge one experiment's points into the session registry."""
+    existing = _RESULTS.setdefault(
+        result.experiment,
+        ExperimentResult(experiment=result.experiment, paper=result.paper),
+    )
+    existing.points.extend(result.points)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    from repro.harness.reporting import format_series, format_table
+
+    out_dir = Path(__file__).parent / "results"
+    out_dir.mkdir(exist_ok=True)
+    sections = []
+    for name, result in sorted(_RESULTS.items()):
+        if name == "table2":
+            text = format_table(
+                result, ["arb_32k", "svc_4x8k"], lambda p: p.miss_ratio, "miss"
+            )
+            title = "Table 2 - miss ratios (ARB 32KB vs SVC 4x8KB)"
+        elif name == "table3":
+            text = format_table(
+                result,
+                ["svc_4x8k", "svc_4x16k"],
+                lambda p: p.bus_utilization,
+                "util",
+            )
+            title = "Table 3 - SVC snooping bus utilization"
+        elif name in ("fig19", "fig20"):
+            text = format_series(
+                result,
+                ["svc_1c", "arb_1c", "arb_2c", "arb_3c", "arb_4c"],
+                lambda p: p.ipc,
+                "IPC",
+                highlight="svc_1c",
+            )
+            size = "32KB" if name == "fig19" else "64KB"
+            title = f"Figure {19 if name == 'fig19' else 20} - SPEC95 IPCs ({size} total)"
+        else:
+            machines = sorted({p.machine for p in result.points})
+            text = format_series(result, machines, lambda p: p.ipc, "IPC")
+            text += "\n\n" + format_series(
+                result, machines, lambda p: p.miss_ratio, "miss"
+            )
+            title = f"Ablation - {name}"
+        section = f"== {title} (scale={SCALE}) ==\n{text}\n"
+        sections.append(section)
+        (out_dir / f"{name}.txt").write_text(section)
+    print("\n\n" + "\n".join(sections))

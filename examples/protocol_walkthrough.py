@@ -1,0 +1,131 @@
+"""Replay the paper's worked protocol examples, printing each snapshot.
+
+Walks Figures 8, 9, 12, 13, 14/15 and 17 of the paper on the live
+protocol, printing the per-cache line states in the figures' style
+(`S`=store, `L`=load, `C`=commit, `T`=stale, `A`=architectural,
+`X`=exclusive; `ptr` is the VOL pointer; `v` the word value).
+
+Run:  python examples/protocol_walkthrough.py
+"""
+
+from repro.common.config import CacheGeometry, SVCConfig
+from repro.svc.designs import design_config
+from repro.svc.system import SVCSystem
+
+A = 0x100
+
+
+def fresh(design: str) -> SVCSystem:
+    return SVCSystem(design_config(design, SVCConfig(
+        geometry=CacheGeometry(size_bytes=512, associativity=2, line_size=16),
+    )))
+
+
+def show(system: SVCSystem, caption: str) -> None:
+    print(f"  {caption}")
+    print(f"    {system.describe_line(A)}")
+    print(f"    VOL: {system.vol_of(A)}")
+
+
+def figure8() -> None:
+    print("\n== Figure 8: base-design load, VOL reverse search ==")
+    svc = fresh("base")
+    for cache_id in range(4):
+        svc.begin_task(cache_id, cache_id)
+    svc.store(0, A, 0)
+    svc.store(1, A, 1)
+    svc.store(3, A, 3)
+    show(svc, "before task 2's load (versions 0, 1, 3)")
+    value = svc.load(2, A).value
+    show(svc, f"after the load: task 2 got {value} (closest previous = 1)")
+
+
+def figure9() -> None:
+    print("\n== Figure 9: base-design stores and a violation squash ==")
+    svc = fresh("base")
+    for cache_id in range(4):
+        svc.begin_task(cache_id, cache_id)
+    svc.store(0, A, 0)
+    svc.load(2, A)
+    svc.store(3, A, 3)
+    show(svc, "task 2 loaded version 0 (L set); task 3 stored")
+    squashed = svc.store(1, A, 1).squashed_ranks
+    show(svc, f"task 1's late store squashed tasks {squashed}")
+
+
+def figure12_13() -> None:
+    print("\n== Figures 12/13: EC design, committed versions ==")
+    svc = fresh("ec")
+    svc.begin_task(0, 0)
+    svc.begin_task(1, 1)
+    svc.store(0, A, 0)
+    svc.store(1, A, 1)
+    svc.commit_head(0)
+    svc.commit_head(1)
+    svc.begin_task(0, 4)
+    svc.begin_task(1, 5)
+    svc.begin_task(2, 2)
+    svc.begin_task(3, 3)
+    svc.store(3, A, 3)
+    show(svc, "committed versions 0,1; uncommitted version 3")
+    value = svc.load(2, A).value
+    show(svc, f"Fig 12: task 2 loaded {value}; committed 1 written back, "
+              f"0 purged (memory={svc.memory.read_int(A, 4)})")
+    svc.store(1, A, 5)
+    show(svc, "Fig 13: task 5's store; VOL keeps the uncommitted versions")
+
+
+def figure14_15() -> None:
+    print("\n== Figures 14/15: the stale (T) bit ==")
+    for store_by_3, label in ((False, "time line 1: no later store"),
+                              (True, "time line 2: task 3 stores")):
+        svc = fresh("ec")
+        for cache_id in range(4):
+            svc.begin_task(cache_id, cache_id)
+        svc.store(0, A, 0)
+        svc.store(1, A, 1)
+        svc.load(2, A)
+        if store_by_3:
+            svc.store(3, A, 3)
+        for cache_id in range(4):
+            svc.commit_head(cache_id)
+        for cache_id, rank in [(0, 4), (1, 5), (2, 6), (3, 7)]:
+            svc.begin_task(cache_id, rank)
+        before = svc.stats.get("bus_transactions")
+        value = svc.load(2, A).value
+        used_bus = svc.stats.get("bus_transactions") - before
+        print(f"  {label}: task 6 loaded {value} "
+              f"({'bus request' if used_bus else 'local reuse, no bus'})")
+
+
+def figure17() -> None:
+    print("\n== Figure 17: ECS design, VOL repair after a squash ==")
+    svc = fresh("ecs")
+    svc.begin_task(0, 0)
+    svc.store(0, A, 0)
+    svc.commit_head(0)
+    svc.begin_task(1, 1)
+    svc.begin_task(2, 2)
+    svc.begin_task(3, 3)
+    svc.begin_task(0, 4)
+    svc.store(1, A, 1)
+    svc.store(3, A, 3)
+    show(svc, "before the squash (committed 0; versions 1, 3)")
+    svc.squash_from_rank(3)
+    show(svc, "tasks 3,4 squashed: version 3 invalidated, pointers dangle")
+    svc.begin_task(3, 3)
+    svc.begin_task(0, 4)
+    value = svc.load(2, A).value
+    show(svc, f"task 2's load repaired the VOL and got {value}")
+
+
+def main() -> None:
+    figure8()
+    figure9()
+    figure12_13()
+    figure14_15()
+    figure17()
+
+
+if __name__ == "__main__":
+    main()

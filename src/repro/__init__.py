@@ -1,0 +1,19 @@
+"""repro: a full reproduction of the Speculative Versioning Cache (HPCA 1998).
+
+Public API highlights
+---------------------
+- :class:`repro.svc.SVCSystem` — the paper's contribution: private
+  per-PU caches with a Multiple Reader Multiple Writer protocol.
+- :class:`repro.arb.ARBSystem` — the Address Resolution Buffer baseline.
+- :class:`repro.hier.SpeculativeExecutionDriver` — the hierarchical
+  (multiscalar-style) task execution model driving either memory system.
+- :mod:`repro.timing` — the cycle-level processor model used for the
+  paper's IPC experiments.
+- :mod:`repro.workloads` — synthetic SPEC95-like workload generators.
+- :mod:`repro.harness` — experiment registry regenerating every table
+  and figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,30 @@
+"""The Address Resolution Buffer baseline (Franklin & Sohi).
+
+The ARB is the prior solution to speculative versioning for hierarchical
+execution models and the comparison point of the paper's evaluation: a
+*shared* fully-associative buffer, reached by every PU through an
+interconnect, whose rows hold one entry per task stage (load bit, store
+bit, value). A shared L1 data cache backs the buffer and holds
+architectural data.
+
+The two problems the SVC attacks are visible in this model by
+construction: every access — hit or miss — pays the interconnect/ARB
+``hit_cycles`` latency, and commits copy speculative state into the data
+cache.
+
+:class:`ARBSystem` offers the same duck-typed interface as
+:class:`repro.svc.SVCSystem`, so the functional driver, the oracle tests
+and the timing simulator run identically over both memory systems.
+"""
+
+from repro.arb.buffer import ARBEntry, ARBRow, AddressResolutionBuffer
+from repro.arb.data_cache import SharedDataCache
+from repro.arb.system import ARBSystem
+
+__all__ = [
+    "AddressResolutionBuffer",
+    "ARBEntry",
+    "ARBRow",
+    "ARBSystem",
+    "SharedDataCache",
+]

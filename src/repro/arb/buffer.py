@@ -1,0 +1,113 @@
+"""The Address Resolution Buffer proper: rows x stages of L/S/value.
+
+Structure follows Franklin & Sohi's ARB as configured in the paper's
+evaluation (section 4.2): a fully associative buffer of ``n_rows`` rows;
+each row tracks one word of memory and holds, per task stage, a load
+bit, a store bit and the buffered store data. Disambiguation is at byte
+granularity ("disambiguation is performed at the byte-level"), so the
+per-stage bits are byte masks within the row's word.
+
+Stages are assigned to active tasks in sequence order; an extra stage
+holding architectural data (mentioned in section 4) is modeled by the
+backing shared data cache rather than as a literal sixth stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import ConfigError, ProtocolError
+
+WORD_SIZE = 4
+
+
+@dataclass
+class ARBEntry:
+    """One (row, stage) cell: byte-masked load/store state plus data."""
+
+    load_mask: int = 0
+    store_mask: int = 0
+    data: bytearray = field(default_factory=lambda: bytearray(WORD_SIZE))
+
+    @property
+    def empty(self) -> bool:
+        return self.load_mask == 0 and self.store_mask == 0
+
+
+@dataclass
+class ARBRow:
+    """One fully-associative row: a word address and per-task entries.
+
+    Entries are keyed by task rank, which plays the role of the paper's
+    stage index; the sliding head/tail window over ranks is enforced by
+    :class:`repro.arb.system.ARBSystem`.
+    """
+
+    word_addr: int
+    entries: Dict[int, ARBEntry] = field(default_factory=dict)
+
+    def entry_for(self, rank: int) -> ARBEntry:
+        entry = self.entries.get(rank)
+        if entry is None:
+            entry = ARBEntry()
+            self.entries[rank] = entry
+        return entry
+
+    @property
+    def empty(self) -> bool:
+        return all(entry.empty for entry in self.entries.values())
+
+
+class AddressResolutionBuffer:
+    """Fixed pool of fully-associative ARB rows."""
+
+    def __init__(self, n_rows: int) -> None:
+        if n_rows <= 0:
+            raise ConfigError("ARB needs at least one row")
+        self.n_rows = n_rows
+        self._rows: Dict[int, ARBRow] = {}
+
+    def lookup(self, word_addr: int) -> Optional[ARBRow]:
+        return self._rows.get(word_addr)
+
+    def lookup_or_allocate(self, word_addr: int) -> Optional[ARBRow]:
+        """The row for ``word_addr``, allocating if free space exists.
+        Returns ``None`` when the buffer is full (the PU must stall)."""
+        row = self._rows.get(word_addr)
+        if row is not None:
+            return row
+        if len(self._rows) >= self.n_rows:
+            return None
+        row = ARBRow(word_addr=word_addr)
+        self._rows[word_addr] = row
+        return row
+
+    def release_if_empty(self, word_addr: int) -> None:
+        row = self._rows.get(word_addr)
+        if row is not None and row.empty:
+            del self._rows[word_addr]
+
+    def rows(self) -> List[ARBRow]:
+        return list(self._rows.values())
+
+    def occupancy(self) -> int:
+        return len(self._rows)
+
+    def clear_rank(self, rank: int) -> None:
+        """Drop one task's entries from every row (squash epilogue)."""
+        for word_addr in list(self._rows):
+            row = self._rows[word_addr]
+            row.entries.pop(rank, None)
+            if not row.entries:
+                del self._rows[word_addr]
+
+    def validate_window(self, active_ranks: List[int]) -> None:
+        """Debug check: every entry belongs to an active task."""
+        allowed = set(active_ranks)
+        for row in self._rows.values():
+            for rank in row.entries:
+                if rank not in allowed:
+                    raise ProtocolError(
+                        f"ARB row {row.word_addr:#x} holds stale rank {rank}"
+                    )

@@ -1,0 +1,85 @@
+"""Shared L1 data cache backing the ARB.
+
+Direct-mapped (as in the paper's configuration), 16-byte lines, holding
+only architectural data: committed stores drain into it; loads that the
+ARB stages cannot satisfy read through it. Dirty lines write back to
+main memory on eviction or drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.common.config import CacheGeometry
+from repro.common.stats import StatsRegistry
+from repro.mem.main_memory import MainMemory
+from repro.mem.storage import SetAssociativeArray
+
+
+@dataclass
+class DataCacheLine:
+    data: bytearray
+    dirty: bool = False
+
+
+class SharedDataCache:
+    """The ARB's backing store for architectural data."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        memory: MainMemory,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.amap = geometry.address_map
+        self.memory = memory
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.array: SetAssociativeArray[DataCacheLine] = SetAssociativeArray(geometry)
+
+    def _fill(self, line_addr: int) -> DataCacheLine:
+        """Fetch a line from memory, evicting (and writing back) if needed."""
+        if self.array.set_is_full(line_addr):
+            victim = self.array.choose_victim(line_addr)
+            victim_addr, victim_line = victim
+            self.array.remove(victim_addr)
+            if victim_line.dirty:
+                self.memory.write_line(victim_addr, bytes(victim_line.data))
+                self.stats.add("dcache_writebacks")
+        line = DataCacheLine(
+            data=self.memory.read_line(line_addr, self.geometry.line_size)
+        )
+        self.array.insert(line_addr, line)
+        return line
+
+    def read(self, addr: int, size: int) -> Tuple[bytes, bool]:
+        """Read bytes; returns (data, hit?)."""
+        line_addr = self.amap.line_address(addr)
+        line = self.array.lookup(line_addr)
+        hit = line is not None
+        if line is None:
+            self.stats.add("dcache_misses")
+            line = self._fill(line_addr)
+        offset = self.amap.line_offset(addr)
+        return bytes(line.data[offset : offset + size]), hit
+
+    def write(self, addr: int, data: bytes) -> bool:
+        """Write bytes (fetch-on-write-miss); returns hit?."""
+        line_addr = self.amap.line_address(addr)
+        line = self.array.lookup(line_addr)
+        hit = line is not None
+        if line is None:
+            self.stats.add("dcache_misses")
+            line = self._fill(line_addr)
+        offset = self.amap.line_offset(addr)
+        line.data[offset : offset + len(data)] = data
+        line.dirty = True
+        return hit
+
+    def drain(self) -> None:
+        """Write every dirty line back to memory."""
+        for line_addr, line in self.array.lines():
+            if line.dirty:
+                self.memory.write_line(line_addr, bytes(line.data))
+                line.dirty = False

@@ -1,0 +1,334 @@
+"""ARBSystem: the shared-buffer memory system the SVC is compared to.
+
+Implements the same duck-typed interface as
+:class:`repro.svc.SVCSystem` (``begin_task`` / ``commit_head`` /
+``squash_from_rank`` / ``load`` / ``store`` / ``drain`` / ``n_units``),
+so every driver, test and benchmark runs over either system unchanged.
+
+Timing model (paper section 4): every access crosses the PU-ARB
+crossbar and pays ``hit_cycles`` (swept 1-4 in the experiments); a load
+the ARB stages cannot satisfy reads the shared data cache, and a data
+cache miss adds ``miss_penalty_cycles``. Bandwidth is unlimited — the
+paper's ARB is modeled "without any bank contention" — which is exactly
+the generosity the SVC still beats at 3+ cycle hit latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.arb.buffer import WORD_SIZE, AddressResolutionBuffer
+from repro.arb.data_cache import SharedDataCache
+from repro.common.config import ARBConfig
+from repro.common.errors import ProtocolError, ReplacementStall
+from repro.common.events import EventLog
+from repro.common.stats import StatsRegistry
+from repro.mem.main_memory import MainMemory
+from repro.svc.system import AccessResult
+
+
+def _byte_mask(offset: int, size: int) -> int:
+    """Byte mask within a word for an access at word offset ``offset``."""
+    return ((1 << size) - 1) << offset
+
+
+class ARBSystem:
+    """A complete ARB + shared data cache memory system."""
+
+    def __init__(
+        self,
+        config: Optional[ARBConfig] = None,
+        memory: Optional[MainMemory] = None,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
+        self.config = config if config is not None else ARBConfig()
+        self.stats = StatsRegistry()
+        self.event_log = event_log
+        self.memory = memory if memory is not None else MainMemory(
+            self.config.miss_penalty_cycles
+        )
+        self.buffer = AddressResolutionBuffer(self.config.n_rows)
+        self.data_cache = SharedDataCache(
+            self.config.cache_geometry, self.memory, self.stats
+        )
+        #: PU id -> rank of the task it is executing.
+        self._task_of_unit: Dict[int, Optional[int]] = {
+            unit: None for unit in range(self.n_units)
+        }
+        self._committed_through = -1
+
+    @property
+    def n_units(self) -> int:
+        """One task stage per PU; the extra architectural stage is the
+        data cache."""
+        return self.config.n_stages - 1
+
+    @property
+    def amap(self):
+        """Address map of the backing data cache (for MSHR line math)."""
+        return self.config.cache_geometry.address_map
+
+    @property
+    def mshrs_per_unit(self) -> int:
+        """The paper's 32 MSHRs are shared; model an even split."""
+        return max(1, self.config.n_mshrs // self.n_units)
+
+    @property
+    def mshr_combining(self) -> int:
+        return self.config.mshr_combining
+
+    # -- task bookkeeping ----------------------------------------------------
+
+    def current_ranks(self) -> Dict[int, int]:
+        return {
+            unit: rank
+            for unit, rank in self._task_of_unit.items()
+            if rank is not None
+        }
+
+    def head_rank(self) -> Optional[int]:
+        ranks = self.current_ranks()
+        return min(ranks.values()) if ranks else None
+
+    def task_rank(self, unit: int) -> Optional[int]:
+        return self._task_of_unit[unit]
+
+    def begin_task(self, unit: int, rank: int) -> None:
+        if rank <= self._committed_through:
+            raise ProtocolError(
+                f"task rank {rank} is not after the committed prefix "
+                f"({self._committed_through})"
+            )
+        if rank in self.current_ranks().values():
+            raise ProtocolError(f"task rank {rank} is already running")
+        if self._task_of_unit[unit] is not None:
+            raise ProtocolError(f"unit {unit} already runs a task")
+        self._task_of_unit[unit] = rank
+
+    def commit_head(self, unit: int, now: int = 0) -> int:
+        """Drain the head task's buffered stores into the data cache.
+
+        This is the copy step whose burstiness the paper criticizes; the
+        evaluation's "extra stage with architectural data" mitigation is
+        modeled by charging a constant per-store drain cost off the
+        critical path.
+        """
+        rank = self._task_of_unit[unit]
+        if rank is None:
+            raise ProtocolError(f"unit {unit} has no task to commit")
+        if rank != self.head_rank():
+            raise ProtocolError(
+                f"task {rank} is not the head ({self.head_rank()})"
+            )
+        self.stats.add("commits")
+        drained = 0
+        for row in self.buffer.rows():
+            entry = row.entries.get(rank)
+            if entry is None:
+                continue
+            if entry.store_mask:
+                for offset in range(WORD_SIZE):
+                    if entry.store_mask & (1 << offset):
+                        self.data_cache.write(
+                            row.word_addr + offset,
+                            bytes(entry.data[offset : offset + 1]),
+                        )
+                drained += 1
+            row.entries.pop(rank, None)
+            self.buffer.release_if_empty(row.word_addr)
+        self.stats.add("commit_stores_drained", drained)
+        self._task_of_unit[unit] = None
+        self._committed_through = rank
+        if self.event_log is not None:
+            self.event_log.emit("commit", source="arb", unit=unit, rank=rank)
+        return now + 1
+
+    def squash_from_rank(self, rank: int, reason: str = "misprediction") -> List[int]:
+        victims = sorted(
+            (task, unit)
+            for unit, task in self.current_ranks().items()
+            if task >= rank
+        )
+        for task, unit in victims:
+            self.buffer.clear_rank(task)
+            self._task_of_unit[unit] = None
+            self.stats.add(f"squashes_{reason}")
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "squash", source="arb", unit=unit, rank=task, reason=reason
+                )
+        return [task for task, _ in victims]
+
+    # -- PU requests ------------------------------------------------------------
+
+    def _row_for(self, unit: int, addr: int, rank: int, for_store: bool):
+        """The (possibly fresh) row for ``addr``.
+
+        A full buffer stalls a speculative task until commits free rows.
+        The head task must not stall forever — rows only free on its own
+        commit — so it reclaims capacity by squashing the youngest task,
+        the standard ARB back-pressure recovery. A head *load* with no
+        existing row needs no row at all: there is no older task whose
+        store could violate it, so nothing needs recording.
+        """
+        word_addr = addr - (addr % WORD_SIZE)
+        reclaim_squashed: List[int] = []
+        row = self.buffer.lookup_or_allocate(word_addr)
+        while row is None:
+            if rank != self.head_rank():
+                self.stats.add("arb_full_stalls")
+                raise ReplacementStall(unit, word_addr)
+            if not for_store:
+                return None, reclaim_squashed
+            youngest = max(
+                (r for r in self.current_ranks().values() if r != rank),
+                default=None,
+            )
+            if youngest is None:
+                # Only the head remains and the buffer still cannot hold
+                # its working set. The head is non-speculative and — with
+                # no row — no later task has recorded a load here, so its
+                # store may write through to the data cache directly.
+                return None, reclaim_squashed
+            reclaim_squashed = sorted(
+                set(reclaim_squashed)
+                | set(self.squash_from_rank(youngest, reason="arb_reclaim"))
+            )
+            row = self.buffer.lookup_or_allocate(word_addr)
+        return row, reclaim_squashed
+
+    def load(self, unit: int, addr: int, size: int = 4, now: int = 0) -> AccessResult:
+        rank = self._task_of_unit[unit]
+        if rank is None:
+            raise ProtocolError(f"unit {unit} has no current task")
+        if addr % WORD_SIZE + size > WORD_SIZE:
+            raise ProtocolError("ARB accesses must fall within one word")
+        self.stats.add("loads")
+        row, _ = self._row_for(unit, addr, rank, for_store=False)
+        offset = addr % WORD_SIZE
+        value_bytes = bytearray(size)
+        if row is None:
+            # Head-task load with a full buffer: nothing older can
+            # violate it, so it reads the architectural data directly.
+            missing = list(range(size))
+        else:
+            mask = _byte_mask(offset, size)
+            # Record use-before-definition for the bytes this task has
+            # not itself stored, then compose each byte from the closest
+            # previous stage store, falling back to the data cache.
+            entry = row.entry_for(rank)
+            entry.load_mask |= mask & ~entry.store_mask
+
+            older = sorted(
+                (r for r in row.entries if r <= rank), reverse=True
+            )
+            missing = []
+            for i in range(size):
+                byte_off = offset + i
+                bit = 1 << byte_off
+                for r in older:
+                    candidate = row.entries[r]
+                    if candidate.store_mask & bit:
+                        value_bytes[i] = candidate.data[byte_off]
+                        break
+                else:
+                    missing.append(i)
+        from_memory = False
+        if missing:
+            cached, hit = self.data_cache.read(addr, size)
+            for i in missing:
+                value_bytes[i] = cached[i]
+            if not hit:
+                from_memory = True
+                self.stats.add("memory_supplies")
+
+        end = now + self.config.hit_cycles
+        if from_memory:
+            end += self.config.miss_penalty_cycles
+        return AccessResult(
+            value=int.from_bytes(bytes(value_bytes), "little"),
+            hit=not from_memory,
+            end_cycle=end,
+            from_memory=from_memory,
+        )
+
+    def store(
+        self, unit: int, addr: int, value: int, size: int = 4, now: int = 0
+    ) -> AccessResult:
+        rank = self._task_of_unit[unit]
+        if rank is None:
+            raise ProtocolError(f"unit {unit} has no current task")
+        if addr % WORD_SIZE + size > WORD_SIZE:
+            raise ProtocolError("ARB accesses must fall within one word")
+        self.stats.add("stores")
+        row, squashed = self._row_for(unit, addr, rank, for_store=True)
+        offset = addr % WORD_SIZE
+        mask = _byte_mask(offset, size)
+
+        if row is None:
+            # Head write-through: the buffer cannot hold the head's
+            # working set even after reclaiming every younger task.
+            payload = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+            self.data_cache.write(addr, payload)
+            self.stats.add("head_write_throughs")
+            return AccessResult(
+                value=None,
+                hit=True,
+                end_cycle=now + self.config.hit_cycles,
+                squashed_ranks=squashed,
+            )
+
+        entry = row.entry_for(rank)
+        payload = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        entry.data[offset : offset + size] = payload
+        entry.store_mask |= mask
+
+        # Memory-dependence check: a later task that loaded any of these
+        # bytes used a stale value — squash it and everything younger.
+        for r in sorted(r for r in row.entries if r > rank):
+            later = row.entries[r]
+            remaining = mask & ~_accumulated_store_shadow(row, rank, r)
+            if later.load_mask & remaining:
+                squashed = sorted(
+                    set(squashed)
+                    | set(self.squash_from_rank(r, reason="violation"))
+                )
+                break
+
+        end = now + self.config.hit_cycles
+        return AccessResult(
+            value=None,
+            hit=True,
+            end_cycle=end,
+            squashed_ranks=squashed,
+        )
+
+    # -- end of run ----------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Flush architectural state to memory (all tasks committed)."""
+        for row in self.buffer.rows():
+            for rank, entry in row.entries.items():
+                if entry.store_mask:
+                    raise ProtocolError(
+                        f"drain with uncommitted store in row {row.word_addr:#x}"
+                    )
+        self.data_cache.drain()
+
+    def miss_ratio(self) -> float:
+        """Table-2 definition: accesses supplied by the next level of
+        memory (below the ARB/data-cache pair) over all accesses."""
+        accesses = self.stats.get("loads") + self.stats.get("stores")
+        if accesses == 0:
+            return 0.0
+        return self.stats.get("memory_supplies") / accesses
+
+
+def _accumulated_store_shadow(row, storer_rank: int, upto_rank: int) -> int:
+    """Byte mask already redefined by tasks strictly between the storer
+    and ``upto_rank``: those bytes shield later loads from the new store."""
+    shadow = 0
+    for r, entry in row.entries.items():
+        if storer_rank < r < upto_rank:
+            shadow |= entry.store_mask
+    return shadow

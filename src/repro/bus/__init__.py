@@ -1,0 +1,6 @@
+"""Split-transaction snooping bus shared by all private-cache systems."""
+
+from repro.bus.requests import BusRequestKind, BusTransaction
+from repro.bus.snooping_bus import SnoopingBus
+
+__all__ = ["BusRequestKind", "BusTransaction", "SnoopingBus"]

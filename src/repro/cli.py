@@ -1,0 +1,122 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage (any experiment from the registry)::
+
+    python -m repro table2 --scale 0.5
+    python -m repro fig19 --benchmarks compress,mgrid
+    python -m repro ablation_designs
+    python -m repro list
+
+Results print in the paper's row/series shape, with the published
+numbers alongside where the paper reports them, and can additionally be
+written to a file with ``--output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENTS, ExperimentResult
+from repro.harness.reporting import format_series, format_table
+from repro.workloads.spec95 import BENCHMARKS
+
+
+def _render(result: ExperimentResult) -> str:
+    name = result.experiment
+    if name == "table2":
+        return format_table(
+            result, ["arb_32k", "svc_4x8k"], lambda p: p.miss_ratio, "miss"
+        )
+    if name == "table3":
+        return format_table(
+            result, ["svc_4x8k", "svc_4x16k"], lambda p: p.bus_utilization, "util"
+        )
+    if name in ("fig19", "fig20"):
+        from repro.harness.charts import render_grouped_bars
+
+        machines = ["svc_1c", "arb_1c", "arb_2c", "arb_3c", "arb_4c"]
+        series = format_series(
+            result, machines, lambda p: p.ipc, "IPC", highlight="svc_1c"
+        )
+        chart = render_grouped_bars(result, machines, lambda p: p.ipc, "IPC")
+        return f"{series}\n\n{chart}"
+    machines = sorted({p.machine for p in result.points})
+    ipc = format_series(result, machines, lambda p: p.ipc, "IPC")
+    miss = format_series(result, machines, lambda p: p.miss_ratio, "miss")
+    return f"{ipc}\n\n{miss}"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the Speculative Versioning Cache evaluation "
+        "(Gopal et al., HPCA 1998).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'): "
+        + ", ".join(sorted(set(EXPERIMENTS) | {"list"})),
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated SPEC95 benchmark subset "
+        f"(default: experiment-specific; all = {','.join(BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale factor (default: REPRO_SCALE or 1.0)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the rendered result to this file",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, runner in sorted(EXPERIMENTS.items()):
+            doc = (runner.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:20s} {doc}")
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    kwargs = {}
+    if args.benchmarks:
+        requested = tuple(name.strip() for name in args.benchmarks.split(","))
+        unknown = [name for name in requested if name not in BENCHMARKS]
+        if unknown:
+            print(f"unknown benchmarks: {unknown}", file=sys.stderr)
+            return 2
+        kwargs["benchmarks"] = requested
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+
+    started = time.time()
+    result = EXPERIMENTS[args.experiment](**kwargs)
+    text = _render(result)
+    elapsed = time.time() - started
+    header = f"== {args.experiment} ({elapsed:.1f}s) =="
+    print(header)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(f"{header}\n{text}\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Snooping-bus MRSW cache coherence (paper section 3.1, Figures 2-4).
+
+This is the Symmetric Multiprocessor substrate the SVC is built by
+analogy to: a three-state (Invalid / Clean / Dirty) invalidation protocol
+over private L1 caches. It serves three roles in the repository:
+
+1. a validated substrate exercising the storage/bus plumbing,
+2. the non-speculative reference the SVC must degenerate to when tasks
+   run one at a time, and
+3. the executable form of the paper's Figure 4 worked example.
+"""
+
+from repro.coherence.protocol import CoherenceLine, CoherenceState, SMPCache
+from repro.coherence.system import SMPSystem
+
+__all__ = ["CoherenceLine", "CoherenceState", "SMPCache", "SMPSystem"]

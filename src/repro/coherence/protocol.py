@@ -1,0 +1,102 @@
+"""Per-cache state and FSM of the invalidation-based MRSW protocol.
+
+Figure 3 of the paper, verbatim: each line is Invalid, Clean or Dirty;
+loads hit on valid lines, stores hit on dirty lines; a store to a
+clean/invalid line issues BusWrite which invalidates all other copies; a
+dirty line flushes on BusRead and casts out with BusWback on replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import ProtocolError
+from repro.mem.storage import SetAssociativeArray
+
+
+class CoherenceState:
+    """The three stable states of Figure 3."""
+
+    INVALID = "Invalid"
+    CLEAN = "Clean"
+    DIRTY = "Dirty"
+
+
+@dataclass
+class CoherenceLine:
+    """One resident line: state bits V/S of Figure 2 plus the data."""
+
+    state: str
+    data: bytearray = field(default_factory=bytearray)
+
+    @property
+    def dirty(self) -> bool:
+        return self.state == CoherenceState.DIRTY
+
+
+class SMPCache:
+    """One private L1 cache: processor side and snoop side.
+
+    The cache implements only *local* decisions; the bus-level outcome of
+    a miss (who supplies data, who invalidates) is orchestrated by
+    :class:`repro.coherence.system.SMPSystem`, mirroring how the paper
+    splits controller FSMs from the bus protocol.
+    """
+
+    def __init__(self, cache_id: int, geometry: CacheGeometry) -> None:
+        self.cache_id = cache_id
+        self.geometry = geometry
+        self.array: SetAssociativeArray[CoherenceLine] = SetAssociativeArray(geometry)
+
+    # -- processor side ----------------------------------------------------
+
+    def probe_load(self, line_addr: int) -> Optional[CoherenceLine]:
+        """The line if a load would hit (any valid state), else ``None``."""
+        return self.array.lookup(line_addr)
+
+    def probe_store(self, line_addr: int) -> Tuple[Optional[CoherenceLine], bool]:
+        """(line, hit?) for a store: only a dirty line is a store hit."""
+        line = self.array.lookup(line_addr)
+        if line is None:
+            return None, False
+        return line, line.state == CoherenceState.DIRTY
+
+    def fill(self, line_addr: int, data: bytes, state: str) -> Optional[Tuple[int, CoherenceLine]]:
+        """Install a line, evicting LRU if needed; returns the victim."""
+        victim = None
+        if self.array.set_is_full(line_addr):
+            choice = self.array.choose_victim(line_addr)
+            if choice is None:
+                raise ProtocolError("SMP cache could not choose a victim")
+            victim_addr, victim_line = choice
+            self.array.remove(victim_addr)
+            victim = (victim_addr, victim_line)
+        self.array.insert(line_addr, CoherenceLine(state=state, data=bytearray(data)))
+        return victim
+
+    # -- snoop side ---------------------------------------------------------
+
+    def snoop_read(self, line_addr: int) -> Optional[bytes]:
+        """BusRead snoop: a dirty copy flushes and becomes clean."""
+        line = self.array.lookup(line_addr, touch=False)
+        if line is None:
+            return None
+        if line.state == CoherenceState.DIRTY:
+            line.state = CoherenceState.CLEAN
+            return bytes(line.data)
+        return None
+
+    def snoop_write(self, line_addr: int) -> Optional[bytes]:
+        """BusWrite snoop: any copy invalidates; a dirty one flushes first."""
+        line = self.array.lookup(line_addr, touch=False)
+        if line is None:
+            return None
+        data = bytes(line.data) if line.state == CoherenceState.DIRTY else None
+        self.array.remove(line_addr)
+        return data
+
+    def state_of(self, line_addr: int) -> str:
+        line = self.array.lookup(line_addr, touch=False)
+        return CoherenceState.INVALID if line is None else line.state

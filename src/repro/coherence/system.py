@@ -1,0 +1,176 @@
+"""Whole-SMP orchestration: caches + snooping bus + next-level memory.
+
+Reproduces the behaviour walked through in the paper's Figure 4: a load
+miss is served by another cache's dirty copy (flushed, both end clean); a
+store miss invalidates all other copies; a replacement of a dirty line
+casts it out to memory with BusWback.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bus.requests import BusRequestKind
+from repro.bus.snooping_bus import SnoopingBus
+from repro.coherence.protocol import CoherenceState, SMPCache
+from repro.common.config import BusConfig, CacheGeometry
+from repro.common.errors import ConfigError
+from repro.common.events import EventLog
+from repro.common.stats import StatsRegistry
+from repro.mem.main_memory import MainMemory
+
+
+class SMPSystem:
+    """N private caches kept consistent by an invalidation MRSW protocol."""
+
+    def __init__(
+        self,
+        n_caches: int = 4,
+        geometry: Optional[CacheGeometry] = None,
+        bus_config: Optional[BusConfig] = None,
+        memory: Optional[MainMemory] = None,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
+        if n_caches < 2:
+            raise ConfigError("an SMP needs at least two caches")
+        self.geometry = geometry if geometry is not None else CacheGeometry()
+        self.stats = StatsRegistry()
+        self.event_log = event_log
+        self.bus = SnoopingBus(
+            bus_config if bus_config is not None else BusConfig(),
+            stats=self.stats,
+            event_log=event_log,
+        )
+        self.memory = memory if memory is not None else MainMemory()
+        self.caches: List[SMPCache] = [
+            SMPCache(i, self.geometry) for i in range(n_caches)
+        ]
+        self._now = 0
+
+    # -- processor interface -------------------------------------------------
+
+    def load(self, cache_id: int, addr: int, size: int = 4) -> int:
+        """Load ``size`` bytes at ``addr`` through cache ``cache_id``."""
+        cache = self.caches[cache_id]
+        line_addr = self.geometry.address_map.line_address(addr)
+        self.stats.add("loads")
+        line = cache.probe_load(line_addr)
+        if line is None:
+            self.stats.add("load_misses")
+            line = self._handle_read_miss(cache, line_addr)
+        offset = self.geometry.address_map.line_offset(addr)
+        return int.from_bytes(bytes(line.data[offset : offset + size]), "little")
+
+    def store(self, cache_id: int, addr: int, value: int, size: int = 4) -> None:
+        """Store ``value`` (little-endian, ``size`` bytes) at ``addr``."""
+        cache = self.caches[cache_id]
+        line_addr = self.geometry.address_map.line_address(addr)
+        self.stats.add("stores")
+        line, hit = cache.probe_store(line_addr)
+        if not hit:
+            self.stats.add("store_misses")
+            line = self._handle_write_miss(cache, line_addr)
+        offset = self.geometry.address_map.line_offset(addr)
+        mask = (1 << (8 * size)) - 1
+        line.data[offset : offset + size] = (value & mask).to_bytes(size, "little")
+        line.state = CoherenceState.DIRTY
+
+    def replace(self, cache_id: int, addr: int) -> None:
+        """Explicitly cast out the line holding ``addr`` (Figure 4 step 4)."""
+        cache = self.caches[cache_id]
+        line_addr = self.geometry.address_map.line_address(addr)
+        line = cache.array.lookup(line_addr, touch=False)
+        if line is None:
+            return
+        cache.array.remove(line_addr)
+        if line.state == CoherenceState.DIRTY:
+            self._writeback(cache.cache_id, line_addr, bytes(line.data))
+
+    # -- bus-side orchestration ----------------------------------------------
+
+    def _handle_read_miss(self, cache: SMPCache, line_addr: int):
+        supplied = None
+        for other in self.caches:
+            if other is cache:
+                continue
+            flushed = other.snoop_read(line_addr)
+            if flushed is not None:
+                supplied = flushed
+                # A flush updates memory as well: the line becomes clean.
+                self.memory.write_line(line_addr, flushed)
+        cache_to_cache = supplied is not None
+        if supplied is None:
+            supplied = bytes(self.memory.read_line(line_addr, self.geometry.line_size))
+        transaction = self.bus.reserve(
+            self._now,
+            BusRequestKind.READ,
+            cache.cache_id,
+            line_addr,
+            cache_to_cache=cache_to_cache,
+        )
+        self._now = transaction.end_cycle
+        self._install(cache, line_addr, supplied, CoherenceState.CLEAN)
+        return cache.array.lookup(line_addr, touch=False)
+
+    def _handle_write_miss(self, cache: SMPCache, line_addr: int):
+        # BusWrite: obtain the line with intent to modify; every other
+        # copy is invalidated, a dirty one flushing its data to us.
+        supplied = None
+        for other in self.caches:
+            if other is cache:
+                continue
+            flushed = other.snoop_write(line_addr)
+            if flushed is not None:
+                supplied = flushed
+        existing = cache.array.lookup(line_addr, touch=False)
+        if existing is not None:
+            # Store to our own clean copy: upgrade in place.
+            transaction = self.bus.reserve(
+                self._now, BusRequestKind.WRITE, cache.cache_id, line_addr
+            )
+            self._now = transaction.end_cycle
+            existing.state = CoherenceState.DIRTY
+            return existing
+        cache_to_cache = supplied is not None
+        if supplied is None:
+            supplied = bytes(self.memory.read_line(line_addr, self.geometry.line_size))
+        transaction = self.bus.reserve(
+            self._now,
+            BusRequestKind.WRITE,
+            cache.cache_id,
+            line_addr,
+            cache_to_cache=cache_to_cache,
+        )
+        self._now = transaction.end_cycle
+        self._install(cache, line_addr, supplied, CoherenceState.DIRTY)
+        return cache.array.lookup(line_addr, touch=False)
+
+    def _install(self, cache: SMPCache, line_addr: int, data: bytes, state: str) -> None:
+        victim = cache.fill(line_addr, data, state)
+        if victim is not None:
+            victim_addr, victim_line = victim
+            if victim_line.state == CoherenceState.DIRTY:
+                self._writeback(cache.cache_id, victim_addr, bytes(victim_line.data))
+
+    def _writeback(self, cache_id: int, line_addr: int, data: bytes) -> None:
+        transaction = self.bus.reserve(
+            self._now, BusRequestKind.WBACK, cache_id, line_addr
+        )
+        self._now = transaction.end_cycle
+        self.memory.write_line(line_addr, data)
+        self.stats.add("writebacks")
+
+    # -- inspection ------------------------------------------------------------
+
+    def states_of(self, addr: int) -> List[str]:
+        """Per-cache states for the line holding ``addr`` (test helper)."""
+        line_addr = self.geometry.address_map.line_address(addr)
+        return [cache.state_of(line_addr) for cache in self.caches]
+
+    def drain(self) -> None:
+        """Flush every dirty line to memory (end-of-run checks)."""
+        for cache in self.caches:
+            for line_addr, line in list(cache.array.lines()):
+                if line.state == CoherenceState.DIRTY:
+                    self.memory.write_line(line_addr, bytes(line.data))
+                    line.state = CoherenceState.CLEAN

@@ -1,0 +1,34 @@
+"""Shared substrate: addresses, configuration, statistics, events, errors.
+
+Everything in this package is protocol-agnostic plumbing used by the SVC,
+the ARB baseline, the SMP coherence baseline and the timing simulator.
+"""
+
+from repro.common.addresses import AddressMap
+from repro.common.config import (
+    ARBConfig,
+    BusConfig,
+    CacheGeometry,
+    ProcessorConfig,
+    SVCConfig,
+    TimingConfig,
+)
+from repro.common.errors import ConfigError, ProtocolError, SimulationError
+from repro.common.events import EventLog, ProtocolEvent
+from repro.common.stats import StatsRegistry
+
+__all__ = [
+    "AddressMap",
+    "ARBConfig",
+    "BusConfig",
+    "CacheGeometry",
+    "ConfigError",
+    "EventLog",
+    "ProcessorConfig",
+    "ProtocolError",
+    "ProtocolEvent",
+    "SimulationError",
+    "StatsRegistry",
+    "SVCConfig",
+    "TimingConfig",
+]

@@ -1,0 +1,115 @@
+"""Byte-address arithmetic for caches with sub-block (versioning-block) state.
+
+The paper's RL design (section 3.7) divides each address block (cache line)
+into *versioning blocks*: the storage unit at which the L (load) and S
+(store) bits are kept. The base design is the special case where the line
+is one word and there is a single versioning block. All designs in this
+repository are expressed through :class:`AddressMap`, so the base design is
+simply ``AddressMap(line_size=4, versioning_block_size=4)``.
+
+Disambiguation granularity equals ``versioning_block_size``; the paper's
+byte-level disambiguation corresponds to ``versioning_block_size=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Maps byte addresses to (line, versioning block, offset) coordinates.
+
+    Parameters
+    ----------
+    line_size:
+        Address-block size in bytes: the unit for which a tag is kept.
+    versioning_block_size:
+        Sub-block size in bytes: the unit for which L/S bits are kept.
+        Must divide ``line_size``.
+    """
+
+    line_size: int = 16
+    versioning_block_size: int = 4
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.line_size):
+            raise ConfigError(f"line_size must be a power of two, got {self.line_size}")
+        if not _is_power_of_two(self.versioning_block_size):
+            raise ConfigError(
+                "versioning_block_size must be a power of two, got "
+                f"{self.versioning_block_size}"
+            )
+        if self.versioning_block_size > self.line_size:
+            raise ConfigError(
+                f"versioning_block_size ({self.versioning_block_size}) exceeds "
+                f"line_size ({self.line_size})"
+            )
+
+    @property
+    def blocks_per_line(self) -> int:
+        """Number of versioning blocks in one line."""
+        return self.line_size // self.versioning_block_size
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask with one bit set per versioning block."""
+        return (1 << self.blocks_per_line) - 1
+
+    def line_address(self, addr: int) -> int:
+        """Byte address of the first byte of the line containing ``addr``."""
+        return addr & ~(self.line_size - 1)
+
+    def line_offset(self, addr: int) -> int:
+        """Byte offset of ``addr`` within its line."""
+        return addr & (self.line_size - 1)
+
+    def block_index(self, addr: int) -> int:
+        """Versioning-block index of ``addr`` within its line."""
+        return self.line_offset(addr) // self.versioning_block_size
+
+    def block_mask(self, addr: int, size: int) -> int:
+        """Bitmask of the versioning blocks touched by an access.
+
+        ``addr``/``size`` must lie within a single line; accesses never
+        straddle lines in this simulator (the workload generators align
+        them), and the guard makes a violation loud rather than silent.
+        """
+        if size <= 0:
+            raise ConfigError(f"access size must be positive, got {size}")
+        first = self.block_index(addr)
+        last = self.block_index(addr + size - 1)
+        if self.line_address(addr) != self.line_address(addr + size - 1):
+            raise ConfigError(
+                f"access at {addr:#x} size {size} straddles a line boundary"
+            )
+        mask = 0
+        for block in range(first, last + 1):
+            mask |= 1 << block
+        return mask
+
+    def full_cover_mask(self, addr: int, size: int) -> int:
+        """Bitmask of the versioning blocks an access covers *entirely*
+        (no fill data needed to merge a store into them)."""
+        mask = 0
+        offset = self.line_offset(addr)
+        for block in self.blocks_in_mask(self.block_mask(addr, size)):
+            start = block * self.versioning_block_size
+            if offset <= start and offset + size >= start + self.versioning_block_size:
+                mask |= 1 << block
+        return mask
+
+    def blocks_in_mask(self, mask: int) -> list:
+        """Indices of the versioning blocks named by ``mask``."""
+        return [b for b in range(self.blocks_per_line) if mask & (1 << b)]
+
+    def byte_range_of_block(self, line_addr: int, block: int) -> range:
+        """Byte addresses covered by versioning block ``block`` of a line."""
+        start = line_addr + block * self.versioning_block_size
+        return range(start, start + self.versioning_block_size)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the simulator.
+
+The split matters operationally: a :class:`ConfigError` means the caller
+built an impossible machine; a :class:`ProtocolError` means the simulator
+itself violated an invariant (always a bug worth a report); a
+:class:`SimulationError` is a runtime condition such as a deadlocked
+resource that valid configurations can still reach.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class ProtocolError(ReproError):
+    """A protocol invariant was violated (simulator bug, never user error)."""
+
+
+class SimulationError(ReproError):
+    """A runtime simulation failure (deadlock, resource exhaustion, ...)."""
+
+
+class ReplacementStall(SimulationError):
+    """No legal replacement victim exists for a fill.
+
+    Speculative (active) lines may be replaced only by the head task
+    (paper section 3.2.5); when every way of a set holds another task's
+    irreplaceable state, the PU request must stall until this task
+    becomes the head. Drivers catch this and retry after commits advance.
+    """
+
+    def __init__(self, cache_id: int, line_addr: int) -> None:
+        super().__init__(
+            f"cache {cache_id}: no evictable way for line {line_addr:#x}"
+        )
+        self.cache_id = cache_id
+        self.line_addr = line_addr

@@ -1,0 +1,68 @@
+"""Protocol event log.
+
+The SVC, ARB and coherence controllers emit :class:`ProtocolEvent` records
+describing bus transactions, state transitions, squashes and writebacks.
+The worked-example tests (paper Figures 4, 8, 9, 12-17) and the
+``protocol_walkthrough`` example assert on and pretty-print this stream.
+
+Logging is optional: components accept ``event_log=None`` and skip emission
+entirely, so the timing benchmarks pay nothing for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One observable protocol action.
+
+    ``kind`` is a short verb (``"bus_read"``, ``"invalidate"``,
+    ``"squash"``, ``"writeback"``, ...); ``source`` names the component
+    that emitted it; ``detail`` carries kind-specific fields.
+    """
+
+    kind: str
+    source: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Single-line human-readable rendering."""
+        fields = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.source}] {self.kind}({fields})"
+
+
+class EventLog:
+    """Append-only list of protocol events with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[ProtocolEvent] = []
+
+    def emit(self, kind: str, source: str, **detail: Any) -> None:
+        self._events.append(ProtocolEvent(kind=kind, source=source, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ProtocolEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[ProtocolEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def last(self, kind: Optional[str] = None) -> Optional[ProtocolEvent]:
+        if kind is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def describe(self) -> str:
+        """Multi-line rendering of the whole log."""
+        return "\n".join(event.describe() for event in self._events)

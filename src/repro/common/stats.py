@@ -1,0 +1,56 @@
+"""Lightweight statistics registry shared by all simulator components.
+
+Components increment named counters; experiments read ratios out at the
+end. A registry is plain data — no global state — so two machines under
+comparison never share counters by accident.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable
+
+
+class StatsRegistry:
+    """Named integer counters with derived-ratio helpers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (may be negative)."""
+        self._counters[name] += amount
+
+    def set(self, name: str, value: int) -> None:
+        """Set counter ``name`` to an absolute value."""
+        self._counters[name] = value
+
+    def get(self, name: str) -> int:
+        """Current value of ``name`` (0 if never touched)."""
+        return self._counters.get(name, 0)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``numerator / denominator`` as a float; 0.0 when empty."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._counters)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of all counters, for reporting."""
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def merge(self, other: "StatsRegistry", prefix: str = "") -> None:
+        """Fold another registry's counters into this one."""
+        for name, value in other.snapshot().items():
+            self._counters[prefix + name] += value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"StatsRegistry({inner})"

@@ -1,0 +1,35 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each experiment in :mod:`repro.harness.experiments` is keyed by the
+paper artifact it reproduces (``table2``, ``table3``, ``fig19``,
+``fig20``) plus the ablations DESIGN.md defines. Runners return plain
+result objects; :mod:`repro.harness.reporting` renders them in the shape
+the paper prints (rows for tables, per-benchmark series for figures).
+"""
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    run_ablation_designs,
+    run_ablation_linesize,
+    run_ablation_scaling,
+    run_ablation_update_policy,
+    run_figure19,
+    run_figure20,
+    run_table2,
+    run_table3,
+)
+from repro.harness.reporting import format_series, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "format_series",
+    "format_table",
+    "run_ablation_designs",
+    "run_ablation_linesize",
+    "run_ablation_scaling",
+    "run_ablation_update_policy",
+    "run_figure19",
+    "run_figure20",
+    "run_table2",
+    "run_table3",
+]

@@ -1,0 +1,54 @@
+"""ASCII bar charts: render the paper's figures in a terminal.
+
+Figures 19 and 20 are grouped bar charts (five bars per benchmark).
+`render_grouped_bars` draws the same shape in text, so `python -m repro
+fig19` shows the crossover visually, not only as numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.harness.experiments import ExperimentResult
+
+_FULL = "#"
+
+
+def render_grouped_bars(
+    result: ExperimentResult,
+    machines: Sequence[str],
+    metric: Callable,
+    metric_name: str,
+    width: int = 40,
+) -> str:
+    """One row of bars per (benchmark, machine), scaled to the global
+    maximum — the text analog of the paper's grouped bar charts."""
+    benchmarks: List[str] = []
+    for point in result.points:
+        if point.benchmark not in benchmarks:
+            benchmarks.append(point.benchmark)
+
+    values = {}
+    peak = 0.0
+    for name in benchmarks:
+        for machine in machines:
+            point = result.point(name, machine)
+            if point is None:
+                continue
+            value = metric(point)
+            values[(name, machine)] = value
+            peak = max(peak, value)
+    if peak <= 0:
+        return "(no data)"
+
+    label_width = max(len(m) for m in machines)
+    lines = [f"{metric_name} (bar = {peak / width:.3f} per char)"]
+    for name in benchmarks:
+        lines.append(f"{name}:")
+        for machine in machines:
+            value = values.get((name, machine))
+            if value is None:
+                continue
+            bar = _FULL * max(1, round(width * value / peak))
+            lines.append(f"  {machine.ljust(label_width)} |{bar} {value:.2f}")
+    return "\n".join(lines)

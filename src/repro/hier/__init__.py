@@ -1,0 +1,25 @@
+"""Hierarchical execution model (paper section 2.1).
+
+A sequential program is partitioned into *tasks*; a higher-level control
+unit predicts the next task and assigns it to a free processing unit.
+Tasks execute speculatively in parallel, commit one by one in sequence
+order, and a misprediction or memory-dependence violation squashes a
+task and everything after it.
+
+This package holds the task/operation data model and the *functional*
+speculative execution driver used to validate protocol semantics against
+the sequential oracle. The cycle-level processor model built on the same
+abstractions lives in :mod:`repro.timing`.
+"""
+
+from repro.hier.task import MemOp, OpKind, TaskProgram, task_program_from_ops
+from repro.hier.driver import DriverReport, SpeculativeExecutionDriver
+
+__all__ = [
+    "DriverReport",
+    "MemOp",
+    "OpKind",
+    "SpeculativeExecutionDriver",
+    "TaskProgram",
+    "task_program_from_ops",
+]

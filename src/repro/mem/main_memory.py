@@ -1,0 +1,54 @@
+"""Architected storage: the next level of the memory hierarchy.
+
+Byte-granular and sparse — only written bytes are stored, unwritten bytes
+read as zero. This is the single architectural image behind both the SVC
+and the ARB, and the image the sequential oracle is compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+
+class MainMemory:
+    """Sparse byte-addressed memory with line-granular helpers."""
+
+    def __init__(self, miss_penalty_cycles: int = 10) -> None:
+        self.miss_penalty_cycles = miss_penalty_cycles
+        self._bytes: Dict[int, int] = {}
+
+    def read_byte(self, addr: int) -> int:
+        return self._bytes.get(addr, 0)
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self._bytes[addr] = value & 0xFF
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        return bytes(self.read_byte(addr + i) for i in range(size))
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self._bytes[addr + i] = byte
+
+    def read_int(self, addr: int, size: int) -> int:
+        """Little-endian unsigned integer at ``addr``."""
+        return int.from_bytes(self.read_bytes(addr, size), "little")
+
+    def write_int(self, addr: int, size: int, value: int) -> None:
+        mask = (1 << (8 * size)) - 1
+        self.write_bytes(addr, (value & mask).to_bytes(size, "little"))
+
+    def read_line(self, line_addr: int, line_size: int) -> bytearray:
+        return bytearray(self.read_bytes(line_addr, line_size))
+
+    def write_line(self, line_addr: int, data: bytes) -> None:
+        self.write_bytes(line_addr, data)
+
+    def image(self) -> Dict[int, int]:
+        """Copy of all non-zero bytes (for end-of-run comparisons)."""
+        return {addr: b for addr, b in self._bytes.items() if b != 0}
+
+    def load_image(self, image: Iterable[Tuple[int, int]]) -> None:
+        """Bulk-populate memory, e.g. to seed two machines identically."""
+        for addr, byte in image:
+            self.write_byte(addr, byte)

@@ -1,0 +1,61 @@
+"""Writeback buffer: decouples dirty-line cast-outs from the miss path.
+
+A fixed number of entries drain to the next level of memory in FIFO order;
+a replacement that finds the buffer full stalls. Reads must snoop the
+buffer so a line cast out but not yet drained is still visible.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+
+class WritebackBuffer:
+    """FIFO of (line address, data bytes) awaiting transfer to memory."""
+
+    def __init__(self, n_entries: int) -> None:
+        if n_entries <= 0:
+            raise ConfigError("writeback buffer needs at least one entry")
+        self.n_entries = n_entries
+        self._entries: "OrderedDict[int, bytes]" = OrderedDict()
+
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.n_entries
+
+    def push(self, line_addr: int, data: bytes) -> bool:
+        """Queue a writeback; returns False (stall) when full.
+
+        A second cast-out of the same line overwrites the queued data —
+        the newer version supersedes the older one.
+        """
+        if line_addr in self._entries:
+            self._entries[line_addr] = bytes(data)
+            self._entries.move_to_end(line_addr)
+            return True
+        if self.is_full():
+            return False
+        self._entries[line_addr] = bytes(data)
+        return True
+
+    def snoop(self, line_addr: int) -> Optional[bytes]:
+        """Data for ``line_addr`` if it is waiting to drain."""
+        return self._entries.get(line_addr)
+
+    def drain_one(self) -> Optional[Tuple[int, bytes]]:
+        """Remove and return the oldest entry, or ``None`` when empty."""
+        if not self._entries:
+            return None
+        line_addr, data = next(iter(self._entries.items()))
+        del self._entries[line_addr]
+        return line_addr, data
+
+    def drain_all(self) -> List[Tuple[int, bytes]]:
+        drained = list(self._entries.items())
+        self._entries.clear()
+        return drained
+
+    def __len__(self) -> int:
+        return len(self._entries)

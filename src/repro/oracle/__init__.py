@@ -1,0 +1,9 @@
+"""Sequential golden model for speculative-versioning correctness."""
+
+from repro.oracle.sequential import (
+    OracleResult,
+    SequentialOracle,
+    verify_run,
+)
+
+__all__ = ["OracleResult", "SequentialOracle", "verify_run"]

@@ -1,0 +1,94 @@
+"""Sequential execution oracle.
+
+Speculative versioning exists to preserve *sequential semantics* under
+out-of-order, multi-version execution (paper section 1): every committed
+load must see the value the sequential execution would have produced, and
+the final architected memory must equal the sequential result. This
+module is that sequential execution, plus the comparator the property
+tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hier.driver import DriverReport
+from repro.hier.task import OpKind, TaskProgram
+from repro.mem.main_memory import MainMemory
+
+
+@dataclass
+class OracleResult:
+    """Ground truth for one program: per-task load values and memory."""
+
+    load_values: List[List[int]]
+    memory_image: Dict[int, int] = field(default_factory=dict)
+
+
+class SequentialOracle:
+    """Executes the task sequence one task at a time, in order."""
+
+    def __init__(self, initial_image: Optional[Dict[int, int]] = None) -> None:
+        self._initial_image = dict(initial_image or {})
+
+    def run(self, tasks: List[TaskProgram]) -> OracleResult:
+        memory = MainMemory()
+        memory.load_image(self._initial_image.items())
+        load_values: List[List[int]] = []
+        for task in tasks:
+            observed: List[int] = []
+            loaded_by_index: Dict[int, int] = {}
+            for position, op in enumerate(task.ops):
+                if op.kind == OpKind.LOAD:
+                    value = memory.read_int(op.addr, op.size)
+                    observed.append(value)
+                    loaded_by_index[position] = value
+                elif op.kind == OpKind.STORE:
+                    memory.write_int(
+                        op.addr, op.size, op.store_value(loaded_by_index)
+                    )
+            load_values.append(observed)
+        return OracleResult(load_values=load_values, memory_image=memory.image())
+
+
+def verify_run(
+    report: DriverReport,
+    oracle: OracleResult,
+    memory: MainMemory,
+) -> List[str]:
+    """Compare a speculative run against the oracle.
+
+    Returns a list of human-readable discrepancies (empty means the run
+    preserved sequential semantics). Checks both halves of the paper's
+    correctness obligation: committed load values and the final
+    architected memory image.
+    """
+    problems: List[str] = []
+    if len(report.load_values) != len(oracle.load_values):
+        problems.append(
+            f"task count mismatch: ran {len(report.load_values)}, "
+            f"oracle has {len(oracle.load_values)}"
+        )
+        return problems
+    for rank, (got, want) in enumerate(zip(report.load_values, oracle.load_values)):
+        if got != want:
+            problems.append(
+                f"task {rank}: committed loads {got} != sequential {want}"
+            )
+    got_image = memory.image()
+    if got_image != oracle.memory_image:
+        missing = {
+            addr: byte
+            for addr, byte in oracle.memory_image.items()
+            if got_image.get(addr, 0) != byte
+        }
+        extra = {
+            addr: byte
+            for addr, byte in got_image.items()
+            if oracle.memory_image.get(addr, 0) != byte
+        }
+        problems.append(
+            f"memory image mismatch: wrong/missing={missing} unexpected={extra}"
+        )
+    return problems

@@ -1,0 +1,113 @@
+"""Named design levels: the paper's section-3 progression as presets.
+
+Each preset returns an :class:`SVCConfig` so experiments can ask for
+"the ECS design at 4x8KB" without assembling feature flags by hand. The
+BASE design also narrows the geometry to one-word lines with a single
+versioning block, matching the paper's base-design assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict
+
+from repro.common.config import CacheGeometry, SVCConfig, SVCFeatures, UpdatePolicy
+
+#: Paper section introducing each design level.
+DESIGN_SECTIONS = {
+    "base": "3.2",
+    "ec": "3.4",
+    "ecs": "3.5",
+    "hr": "3.6",
+    "rl": "3.7",
+    "final": "3.8",
+}
+
+
+def _word_geometry(geometry: CacheGeometry) -> CacheGeometry:
+    """Same capacity/associativity, one-word lines (base design)."""
+    return CacheGeometry(
+        size_bytes=geometry.size_bytes,
+        associativity=geometry.associativity,
+        line_size=4,
+        versioning_block_size=4,
+    )
+
+
+def base_design(config: SVCConfig = None) -> SVCConfig:
+    """Section 3.2: eager commit writebacks, invalidate-all squashes,
+    one-word lines."""
+    config = config if config is not None else SVCConfig()
+    return replace(
+        config,
+        features=SVCFeatures.base(),
+        geometry=_word_geometry(config.geometry),
+    )
+
+
+def ec_design(config: SVCConfig = None) -> SVCConfig:
+    """Section 3.4: lazy commit (C bit) and stale-copy reuse (T bit),
+    still one-word lines. The EC design assumes no squashes; squashing
+    one drops all uncommitted lines of the squashed tasks."""
+    config = config if config is not None else SVCConfig()
+    return replace(
+        config,
+        features=SVCFeatures.ec(),
+        geometry=_word_geometry(config.geometry),
+    )
+
+
+def ecs_design(config: SVCConfig = None) -> SVCConfig:
+    """Section 3.5: EC plus efficient squashes (A bit, VOL repair)."""
+    config = config if config is not None else SVCConfig()
+    return replace(
+        config,
+        features=SVCFeatures.ecs(),
+        geometry=_word_geometry(config.geometry),
+    )
+
+
+def hr_design(config: SVCConfig = None) -> SVCConfig:
+    """Section 3.6: ECS plus bus snarfing."""
+    config = config if config is not None else SVCConfig()
+    return replace(
+        config,
+        features=SVCFeatures.hr(),
+        geometry=_word_geometry(config.geometry),
+    )
+
+
+def rl_design(config: SVCConfig = None) -> SVCConfig:
+    """Section 3.7: realistic (multi-word) lines with per-block L/S."""
+    config = config if config is not None else SVCConfig()
+    return replace(config, features=SVCFeatures.rl())
+
+
+def final_design(
+    config: SVCConfig = None, update_policy: str = UpdatePolicy.HYBRID
+) -> SVCConfig:
+    """Section 3.8: RL plus the hybrid update-invalidate protocol and
+    retained passive-dirty lines."""
+    config = config if config is not None else SVCConfig()
+    return replace(config, features=SVCFeatures.final(update_policy))
+
+
+DESIGNS: Dict[str, Callable[..., SVCConfig]] = {
+    "base": base_design,
+    "ec": ec_design,
+    "ecs": ecs_design,
+    "hr": hr_design,
+    "rl": rl_design,
+    "final": final_design,
+}
+
+
+def design_config(name: str, config: SVCConfig = None) -> SVCConfig:
+    """Preset lookup by name (``base``/``ec``/``ecs``/``hr``/``rl``/``final``)."""
+    try:
+        factory = DESIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown SVC design {name!r}; choose from {sorted(DESIGNS)}"
+        ) from None
+    return factory(config)

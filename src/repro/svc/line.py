@@ -1,0 +1,118 @@
+"""SVC cache-line state: the bits of the paper's Figures 6, 11 and 16.
+
+Each line carries, in addition to tag and data:
+
+* per-versioning-block **S** (store) and **L** (load) masks — the RL
+  design of section 3.7; the base design is the one-block special case,
+* a per-block **valid** mask — which blocks of the data are usable; a
+  forward store from an earlier task invalidates the overlapped blocks of
+  later copies (the sub-block generalization of the base design's
+  whole-line invalidate),
+* **C** (commit), **T** (stale) and **A** (architectural) bits from the
+  EC/ECS designs,
+* the VOL **pointer**: the cache holding the next copy/version, and
+* a **version sequence number** stamped by the VCL when the line becomes
+  a version. Committed versions must stay totally ordered even after
+  silent evictions punch holes in the pointer chain; the stamp is the
+  functional model of the order the chain encodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class LineState:
+    """The five stable states of the final design's FSM (Figure 18)."""
+
+    INVALID = "Invalid"
+    ACTIVE_CLEAN = "ActiveClean"
+    ACTIVE_DIRTY = "ActiveDirty"
+    PASSIVE_CLEAN = "PassiveClean"
+    PASSIVE_DIRTY = "PassiveDirty"
+
+
+@dataclass
+class SVCLine:
+    """One resident SVC line. ``data`` always spans the full line."""
+
+    data: bytearray
+    valid_mask: int = 0
+    store_mask: int = 0
+    load_mask: int = 0
+    committed: bool = False
+    stale: bool = False
+    architectural: bool = False
+    #: The X (exclusive) bit of section 3.8.1: set when no later task
+    #: holds a copy of (or interest in) this version, so a store to an
+    #: owned block may complete locally. Cleared whenever the line
+    #: supplies data to a later task's fill or snarf, or when the
+    #: write-update policy leaves live copies downstream. Without it, a
+    #: second store to an owned block would silently invalidate copies
+    #: that later tasks already loaded — an undetected violation.
+    exclusive: bool = False
+    pointer: Optional[int] = None
+    version_seq: int = 0
+    #: Per-versioning-block stamp of the version *state* each block's
+    #: data reflects. Stamps are allocated globally per BusWrite; a
+    #: block copied from a supplier inherits the supplier's stamp for
+    #: that block, a block copied from memory inherits the memory
+    #: stamp the VCL tracks per line address. Unlike ``version_seq`` —
+    #: which orders committed versions by task — block stamps identify
+    #: exact data states, which is what the T (stale) bit needs: a line
+    #: is reusable by a new task only when every valid block matches
+    #: the stamp the tail-of-VOL composition would supply.
+    block_content: List[int] = field(default_factory=list)
+    task_id: Optional[int] = field(default=None, compare=False)
+    #: Set when a retained committed version has been flushed to memory;
+    #: a later purge then skips the redundant writeback.
+    written_back: bool = False
+
+    @property
+    def dirty(self) -> bool:
+        """True when the line holds a version (any S bit set)."""
+        return self.store_mask != 0
+
+    @property
+    def state(self) -> str:
+        """The Figure-18 state this line is in."""
+        if self.committed:
+            return LineState.PASSIVE_DIRTY if self.dirty else LineState.PASSIVE_CLEAN
+        return LineState.ACTIVE_DIRTY if self.dirty else LineState.ACTIVE_CLEAN
+
+    def ensure_block_stamps(self, n_blocks: int) -> None:
+        """Initialize the per-block stamp array (idempotent)."""
+        if len(self.block_content) != n_blocks:
+            self.block_content = [0] * n_blocks
+
+    def covers(self, mask: int) -> bool:
+        """True when every block in ``mask`` holds valid data."""
+        return (self.valid_mask & mask) == mask
+
+    def read(self, offset: int, size: int) -> int:
+        """Little-endian value of ``size`` bytes at ``offset``."""
+        return int.from_bytes(bytes(self.data[offset : offset + size]), "little")
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        mask = (1 << (8 * size)) - 1
+        self.data[offset : offset + size] = (value & mask).to_bytes(size, "little")
+
+    def describe(self) -> str:
+        """Compact rendering used by tests and the walkthrough example."""
+        bits = []
+        if self.store_mask:
+            bits.append("S")
+        if self.load_mask:
+            bits.append("L")
+        if self.committed:
+            bits.append("C")
+        if self.stale:
+            bits.append("T")
+        if self.architectural:
+            bits.append("A")
+        if self.exclusive:
+            bits.append("X")
+        flag_text = "".join(bits) or "-"
+        ptr_text = "-" if self.pointer is None else str(self.pointer)
+        return f"{flag_text}/ptr={ptr_text}"

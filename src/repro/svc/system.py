@@ -1,0 +1,338 @@
+"""SVCSystem: the public face of the Speculative Versioning Cache.
+
+One object owns the N private caches, the snooping bus, the Version
+Control Logic and the next-level memory, and exposes:
+
+* the PU request interface — :meth:`load` and :meth:`store`,
+* the task lifecycle — :meth:`begin_task`, :meth:`commit_head`,
+  :meth:`squash_from_rank`,
+* end-of-run draining and inspection helpers used by tests and examples.
+
+Tasks are identified by *ranks*: unique, strictly increasing integers in
+program order (the paper's task sequence numbers). The head task is the
+oldest currently-assigned rank; only it may commit, and a squash always
+removes a suffix of the rank order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bus.requests import BusRequestKind
+from repro.bus.snooping_bus import SnoopingBus
+from repro.common.config import SVCConfig
+from repro.common.errors import ProtocolError
+from repro.common.events import EventLog
+from repro.common.stats import StatsRegistry
+from repro.mem.main_memory import MainMemory
+from repro.svc.cache import ProbeOutcome, SVCCache
+from repro.svc.line import LineState, SVCLine
+from repro.svc.vcl import VersionControlLogic
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one PU load or store."""
+
+    value: Optional[int]
+    hit: bool
+    end_cycle: int
+    from_memory: bool = False
+    cache_to_cache: bool = False
+    squashed_ranks: List[int] = field(default_factory=list)
+
+
+class SVCSystem:
+    """A complete SVC memory system (Figure 5)."""
+
+    def __init__(
+        self,
+        config: Optional[SVCConfig] = None,
+        memory: Optional[MainMemory] = None,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
+        self.config = config if config is not None else SVCConfig()
+        self.features = self.config.features
+        self.geometry = self.config.geometry
+        self.amap = self.geometry.address_map
+        self.stats = StatsRegistry()
+        self.event_log = event_log
+        self.bus = SnoopingBus(self.config.bus, stats=self.stats, event_log=event_log)
+        self.memory = memory if memory is not None else MainMemory(
+            self.config.miss_penalty_cycles
+        )
+        self.caches = [
+            SVCCache(i, self.geometry, self.features)
+            for i in range(self.config.n_caches)
+        ]
+        self.vcl = VersionControlLogic(self)
+        self._committed_through = -1
+        self._content_counter = 0
+
+    def next_content_seq(self) -> int:
+        """Allocate a fresh, globally monotonic version-state stamp."""
+        self._content_counter += 1
+        return self._content_counter
+
+    @property
+    def n_units(self) -> int:
+        """Number of processing units (one private cache each)."""
+        return self.config.n_caches
+
+    @property
+    def mshrs_per_unit(self) -> int:
+        return self.config.n_mshrs
+
+    @property
+    def mshr_combining(self) -> int:
+        return self.config.mshr_combining
+
+    # -- task bookkeeping -----------------------------------------------------
+
+    def task_rank(self, cache_id: int) -> Optional[int]:
+        return self.caches[cache_id].current_task
+
+    def current_ranks(self) -> Dict[int, int]:
+        return {
+            cache.cache_id: cache.current_task
+            for cache in self.caches
+            if cache.current_task is not None
+        }
+
+    def head_rank(self) -> Optional[int]:
+        ranks = self.current_ranks()
+        return min(ranks.values()) if ranks else None
+
+    def cache_of_rank(self, rank: int) -> Optional[int]:
+        for cache_id, current in self.current_ranks().items():
+            if current == rank:
+                return cache_id
+        return None
+
+    def begin_task(self, cache_id: int, rank: int) -> None:
+        """Assign task ``rank`` to the PU behind ``cache_id``."""
+        if rank <= self._committed_through:
+            raise ProtocolError(
+                f"task rank {rank} is not after the committed prefix "
+                f"({self._committed_through})"
+            )
+        if rank in self.current_ranks().values():
+            raise ProtocolError(f"task rank {rank} is already running")
+        self.caches[cache_id].begin_task(rank)
+        if self.event_log is not None:
+            self.event_log.emit("begin_task", source="svc", cache=cache_id, rank=rank)
+
+    def commit_head(self, cache_id: int, now: int = 0) -> int:
+        """Commit the head task. EC designs flash-set the C bit in one
+        cycle; the base design writes every dirty line back over the bus
+        before invalidating the cache — the serial bottleneck the EC
+        design removes (section 3.2.6). Returns the completion cycle."""
+        cache = self.caches[cache_id]
+        rank = cache.current_task
+        if rank is None:
+            raise ProtocolError(f"cache {cache_id} has no task to commit")
+        if rank != self.head_rank():
+            raise ProtocolError(
+                f"task {rank} is not the head ({self.head_rank()}); "
+                "commits must proceed in task order"
+            )
+        self.stats.add("commits")
+        if self.features.lazy_commit:
+            cache.flash_commit()
+            end = now + 1
+        else:
+            end = now
+            for line_addr, line in cache.dirty_active_lines():
+                transaction = self.bus.reserve(
+                    end, BusRequestKind.WBACK, cache_id, line_addr
+                )
+                self.vcl._write_blocks(
+                    line_addr, line, line.store_mask & line.valid_mask
+                )
+                end = transaction.end_cycle
+                self.stats.add("commit_writebacks")
+            cache.flash_invalidate_all()
+            cache.current_task = None
+        self._committed_through = rank
+        if self.event_log is not None:
+            self.event_log.emit(
+                "commit", source="svc", cache=cache_id, rank=rank, end=end
+            )
+        return end
+
+    def squash_from_rank(self, rank: int, reason: str = "misprediction") -> List[int]:
+        """Squash task ``rank`` and every later task (the paper's simple
+        squash model). Returns the squashed ranks, oldest first."""
+        victims = sorted(
+            (task, cache_id)
+            for cache_id, task in self.current_ranks().items()
+            if task >= rank
+        )
+        for task, cache_id in victims:
+            cache = self.caches[cache_id]
+            if self.features.lazy_commit:
+                cache.flash_squash()
+            else:
+                cache.flash_invalidate_all()
+                cache.current_task = None
+            self.stats.add(f"squashes_{reason}")
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "squash", source="svc", cache=cache_id, rank=task, reason=reason
+                )
+        return [task for task, _ in victims]
+
+    # -- PU requests -------------------------------------------------------------
+
+    def load(self, cache_id: int, addr: int, size: int = 4, now: int = 0) -> AccessResult:
+        """Execute a load for the task on ``cache_id``."""
+        cache = self.caches[cache_id]
+        if cache.current_task is None:
+            raise ProtocolError(f"cache {cache_id} has no current task")
+        line_addr = self.amap.line_address(addr)
+        block_mask = self.amap.block_mask(addr, size)
+        offset = self.amap.line_offset(addr)
+        self.stats.add("loads")
+
+        outcome, line = cache.probe_load(line_addr, block_mask)
+        if outcome == ProbeOutcome.HIT:
+            cache.record_load(line, block_mask)
+            cache.line_for(line_addr, touch=True)
+            return AccessResult(
+                value=line.read(offset, size),
+                hit=True,
+                end_cycle=now + self.config.hit_cycles,
+            )
+        self.stats.add("load_misses")
+        line, bus_outcome = self.vcl.bus_read(cache_id, line_addr, now)
+        cache.record_load(line, block_mask)
+        return AccessResult(
+            value=line.read(offset, size),
+            hit=False,
+            end_cycle=bus_outcome.end_cycle,
+            from_memory=bus_outcome.from_memory,
+            cache_to_cache=bus_outcome.cache_to_cache,
+        )
+
+    def store(
+        self, cache_id: int, addr: int, value: int, size: int = 4, now: int = 0
+    ) -> AccessResult:
+        """Execute a store for the task on ``cache_id``. A miss opens the
+        invalidation window and may squash later tasks (returned in
+        ``squashed_ranks``)."""
+        cache = self.caches[cache_id]
+        if cache.current_task is None:
+            raise ProtocolError(f"cache {cache_id} has no current task")
+        line_addr = self.amap.line_address(addr)
+        block_mask = self.amap.block_mask(addr, size)
+        self.stats.add("stores")
+
+        full_cover = self.amap.full_cover_mask(addr, size)
+        outcome, line = cache.probe_store(line_addr, block_mask, full_cover)
+        if outcome == ProbeOutcome.HIT:
+            cache.apply_store(line, addr, size, value, block_mask)
+            # A silent store creates a new version *state*; stamp it so
+            # staleness checks and clean-supply matching stay exact.
+            stamp = self.next_content_seq()
+            for block in self.amap.blocks_in_mask(block_mask):
+                line.block_content[block] = stamp
+            cache.line_for(line_addr, touch=True)
+            return AccessResult(
+                value=None, hit=True, end_cycle=now + self.config.hit_cycles
+            )
+        self.stats.add("store_misses")
+        line, bus_outcome = self.vcl.bus_write(
+            cache_id, line_addr, addr, size, value, now
+        )
+        return AccessResult(
+            value=None,
+            hit=False,
+            end_cycle=bus_outcome.end_cycle,
+            from_memory=bus_outcome.from_memory,
+            cache_to_cache=bus_outcome.cache_to_cache,
+            squashed_ranks=bus_outcome.squashed_ranks,
+        )
+
+    # -- end of run ----------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Flush all committed state to memory and empty the caches."""
+        self.vcl.drain()
+
+    # -- inspection (tests, examples) -------------------------------------------------
+
+    def line_in(self, cache_id: int, addr: int) -> Optional[SVCLine]:
+        line_addr = self.amap.line_address(addr)
+        return self.caches[cache_id].line_for(line_addr)
+
+    def states_of(self, addr: int) -> List[str]:
+        line_addr = self.amap.line_address(addr)
+        return [cache.state_of(line_addr) for cache in self.caches]
+
+    def vol_of(self, addr: int) -> List[int]:
+        """Current VOL (cache ids, oldest first) for the line of ``addr``."""
+        from repro.svc.vol import build_vol
+
+        line_addr = self.amap.line_address(addr)
+        entries = self.vcl._entries(line_addr)
+        return build_vol(entries, self.vcl._ranks())
+
+    def describe_line(self, addr: int) -> str:
+        """One-line snapshot of every cache's state for ``addr``,
+        in the style of the paper's figures."""
+        line_addr = self.amap.line_address(addr)
+        parts = []
+        for cache in self.caches:
+            line = cache.line_for(line_addr)
+            rank = cache.current_task
+            label = f"{cache.cache_id}/{rank if rank is not None else '-'}"
+            if line is None:
+                parts.append(f"[{label}: empty]")
+            else:
+                parts.append(f"[{label}: {line.describe()} v={line.read(0, 4)}]")
+        return " ".join(parts)
+
+    def verify(self) -> None:
+        """Audit every resident line against the protocol invariants.
+
+        Pointer chains and T bits are repaired *lazily* — on each line's
+        next bus request — so between requests a line may legitimately
+        carry a dangling pointer or a conservatively-stale T bit. This
+        method first completes those pending repairs (exactly what the
+        next bus request would do; idempotent and
+        semantics-preserving), then checks every invariant, raising
+        :class:`repro.common.errors.ProtocolError` on the first
+        violation. The same checks run automatically after each bus
+        request when ``config.check_invariants`` is set.
+        """
+        from repro.svc.vol import (
+            build_vol,
+            check_invariants,
+            refresh_stale_bits,
+            rewrite_pointers,
+        )
+
+        addresses = set()
+        for cache in self.caches:
+            for line_addr, _line in cache.lines():
+                addresses.add(line_addr)
+        ranks = self.current_ranks()
+        for line_addr in sorted(addresses):
+            entries = self.vcl._entries(line_addr)
+            vol = build_vol(entries, ranks)
+            stamps = self.vcl.memory_stamps_for(line_addr)
+            rewrite_pointers(entries, vol)
+            refresh_stale_bits(entries, vol, stamps)
+            check_invariants(entries, vol, ranks, stamps)
+
+    def miss_ratio(self) -> float:
+        """Table-2 definition: accesses supplied by next-level memory
+        over all accesses (cache-to-cache transfers are not misses)."""
+        accesses = self.stats.get("loads") + self.stats.get("stores")
+        if accesses == 0:
+            return 0.0
+        return self.stats.get("memory_supplies") / accesses
+
+
+_ = LineState  # re-exported for convenience of importers

@@ -1,0 +1,759 @@
+"""Version Control Logic: the bus-side brain of the SVC (section 3.8.2).
+
+On every bus request the VCL sees the snooped line states of all caches,
+reconstructs the Version Ordering List, and orchestrates everything the
+paper assigns to it:
+
+* supply the correct version for a load (closest previous version per
+  versioning block, else architected memory),
+* open the invalidation window of a store and detect memory-dependence
+  violations (squashes),
+* purge committed versions — writing back the newest and dropping the
+  ones it covers (the EC design's lazy commit),
+* repair VOLs broken by squashes and silent evictions,
+* maintain the T (stale) and A (architectural) bits,
+* offer snarf opportunities to caches that could use the data (HR), and
+* apply the write-update leg of the hybrid update–invalidate protocol.
+
+The VCL mutates cache lines directly: in hardware it would emit per-cache
+responses that the controllers apply; collapsing the two steps changes no
+observable state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bus.requests import BusRequestKind
+from repro.common.config import UpdatePolicy
+from repro.common.errors import ProtocolError, ReplacementStall
+from repro.svc.line import SVCLine
+from repro.svc.vol import (
+    build_vol,
+    check_invariants,
+    clean_supplier,
+    closest_previous_writer,
+    refresh_stale_bits,
+    rewrite_pointers,
+)
+
+MEMORY = "memory"
+CACHE = "cache"  # a version supplied speculative data
+CLEAN = "clean"  # another cache supplied an architectural copy
+
+
+@dataclass
+class BusOutcome:
+    """What one bus request did, for stats, timing and the driver."""
+
+    kind: str
+    end_cycle: int
+    from_memory: bool = False
+    cache_to_cache: bool = False
+    flushes: int = 0
+    squashed_ranks: List[int] = field(default_factory=list)
+    snarfed_caches: List[int] = field(default_factory=list)
+    invalidations: int = 0
+    updates: int = 0
+
+
+class VersionControlLogic:
+    """Combinational logic shared by all caches on the snooping bus."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        #: Per-line-address stamps of the block states last written back
+        #: to memory. A fill block supplied by memory inherits this
+        #: stamp, so staleness checks can tell copies of the current
+        #: architectural image from copies of an older one.
+        self._memory_stamps: Dict[int, List[int]] = {}
+
+    def memory_stamps_for(self, line_addr: int) -> List[int]:
+        stamps = self._memory_stamps.get(line_addr)
+        if stamps is None:
+            stamps = [0] * self.system.amap.blocks_per_line
+            self._memory_stamps[line_addr] = stamps
+        return stamps
+
+    # -- snapshot helpers ---------------------------------------------------
+
+    def _entries(self, line_addr: int) -> Dict[int, SVCLine]:
+        entries = {}
+        for cache in self.system.caches:
+            line = cache.line_for(line_addr)
+            if line is not None:
+                entries[cache.cache_id] = line
+        return entries
+
+    def _ranks(self) -> Dict[int, int]:
+        return {
+            cache.cache_id: cache.current_task
+            for cache in self.system.caches
+            if cache.current_task is not None
+        }
+
+    @staticmethod
+    def _insertion_index(
+        vol: List[int],
+        entries: Dict[int, SVCLine],
+        ranks: Dict[int, int],
+        my_rank: int,
+    ) -> int:
+        """VOL index where a new entry of task ``my_rank`` belongs:
+        after the committed prefix and after every older active entry."""
+        index = 0
+        for cache_id in vol:
+            line = entries[cache_id]
+            if line.committed or ranks[cache_id] < my_rank:
+                index += 1
+            else:
+                break
+        return index
+
+    # -- data movement helpers ------------------------------------------------
+
+    def _compose(
+        self,
+        line_addr: int,
+        entries: Dict[int, SVCLine],
+        vol: List[int],
+        position: int,
+        need_mask: int,
+    ) -> Tuple[bytearray, Dict[int, Tuple[str, Optional[int]]], Dict[int, int]]:
+        """Build fill data for the blocks in ``need_mask``: each block
+        comes from the closest previous version that wrote it, else from
+        architected memory. Returns (data, per-block supplier, per-block
+        content stamps)."""
+        amap = self.system.amap
+        vbs = amap.versioning_block_size
+        data = bytearray(amap.line_size)
+        suppliers: Dict[int, Tuple[str, Optional[int]]] = {}
+        memory_stamps = self.memory_stamps_for(line_addr)
+        stamps: Dict[int, int] = {}
+        for block in amap.blocks_in_mask(need_mask):
+            start = block * vbs
+            supplier = closest_previous_writer(entries, vol, position, block)
+            if supplier is not None:
+                data[start : start + vbs] = entries[supplier].data[start : start + vbs]
+                suppliers[block] = (CACHE, supplier)
+                stamps[block] = entries[supplier].block_content[block]
+                continue
+            stamps[block] = memory_stamps[block]
+            clean = clean_supplier(entries, block, memory_stamps)
+            if clean is not None:
+                data[start : start + vbs] = entries[clean].data[start : start + vbs]
+                suppliers[block] = (CLEAN, clean)
+            else:
+                data[start : start + vbs] = self.system.memory.read_bytes(
+                    line_addr + start, vbs
+                )
+                suppliers[block] = (MEMORY, None)
+        return data, suppliers, stamps
+
+    def _write_blocks(self, line_addr: int, line: SVCLine, mask: int) -> None:
+        amap = self.system.amap
+        vbs = amap.versioning_block_size
+        memory_stamps = self.memory_stamps_for(line_addr)
+        for block in amap.blocks_in_mask(mask):
+            start = block * vbs
+            self.system.memory.write_bytes(
+                line_addr + start, bytes(line.data[start : start + vbs])
+            )
+            memory_stamps[block] = line.block_content[block]
+        self.system.stats.add("writebacks")
+
+    def _purge_committed(self, line_addr: int, retain_newest: bool) -> int:
+        """Write back and drop committed versions of one line.
+
+        Coverage rule (the paper's "only the most recent committed
+        version is written back", generalized to versioning blocks): scan
+        committed versions newest-first; a version's block reaches memory
+        only if no newer committed version already wrote that block.
+        With one block per line this degenerates to exactly the paper's
+        rule. When ``retain_newest`` the newest version stays resident,
+        marked written-back, so it can keep supplying loads cheaply.
+        Returns the number of versions flushed to memory.
+        """
+        entries = self._entries(line_addr)
+        ranks = self._ranks()
+        vol = build_vol(entries, ranks)
+        versions = [
+            cid for cid in vol if entries[cid].committed and entries[cid].dirty
+        ]
+        if not versions:
+            return 0
+        newest = versions[-1]
+        covered = 0
+        flushes = 0
+        for cache_id in reversed(versions):
+            line = entries[cache_id]
+            useful = line.store_mask & line.valid_mask
+            to_write = useful & ~covered
+            if to_write and not line.written_back:
+                self._write_blocks(line_addr, line, to_write)
+                flushes += 1
+            covered |= useful
+            if retain_newest and cache_id == newest:
+                line.written_back = True
+            else:
+                self.system.caches[cache_id].drop(line_addr)
+        return flushes
+
+    def _make_room(self, requestor: int, line_addr: int, now: int) -> int:
+        """Ensure a way is free for a fill, casting out a victim if needed.
+
+        Must run *before* any other protocol side effect of a bus
+        request: a :class:`ReplacementStall` aborts the whole PU request,
+        and the driver retries it later, so nothing observable may have
+        happened yet. A resident line for ``line_addr`` (even a stale
+        committed one) needs no room — the fill reuses its way.
+        """
+        cache = self.system.caches[requestor]
+        if cache.line_for(line_addr) is not None:
+            return now
+        if not cache.array.set_is_full(line_addr):
+            return now
+        is_head = self.system.task_rank(requestor) == self.system.head_rank()
+        victim = cache.choose_victim(line_addr, is_head)
+        if victim is None:
+            raise ReplacementStall(requestor, line_addr)
+        victim_addr, _victim_line = victim
+        self.system.stats.add("replacements")
+        return self.cast_out(requestor, victim_addr, now)
+
+    def _finalize(self, line_addr: int) -> None:
+        """Post-transaction VOL repair: rewrite pointers, refresh T bits,
+        and (in debug builds) check every protocol invariant."""
+        entries = self._entries(line_addr)
+        ranks = self._ranks()
+        vol = build_vol(entries, ranks)
+        rewrite_pointers(entries, vol)
+        memory_stamps = self.memory_stamps_for(line_addr)
+        refresh_stale_bits(entries, vol, memory_stamps)
+        if self.system.config.check_invariants:
+            check_invariants(entries, vol, ranks, memory_stamps)
+
+    @staticmethod
+    def _clear_supplier_exclusivity(
+        entries: Dict[int, SVCLine],
+        suppliers: Dict[int, Tuple[str, Optional[int]]],
+    ) -> None:
+        """A version that supplied data to a later task loses the X bit:
+        its owner's next store to the line must go to the bus, where the
+        invalidation window will find the new copy. Clean (architectural)
+        supplies do not affect exclusivity — they copy memory's image,
+        not the supplier's version — but the position-based revocation
+        below covers the cases where the copy could go stale."""
+        for source, cache_id in suppliers.values():
+            if source == CACHE:
+                entries[cache_id].exclusive = False
+
+    @staticmethod
+    def _revoke_earlier_exclusivity(
+        entries: Dict[int, SVCLine], vol: List[int], position: int
+    ) -> None:
+        """A new copy installed at ``position`` means every earlier
+        entry can no longer prove no later task holds a piece of the
+        line: the silent-store privilege is revoked. Committed lines
+        lose it too — a written-back passive line's X bit is what
+        authorizes local reactivation."""
+        for cache_id in vol[:position]:
+            entries[cache_id].exclusive = False
+
+    def _suppliers_architectural(
+        self,
+        suppliers: Dict[int, Tuple[str, Optional[int]]],
+        entries: Dict[int, SVCLine],
+        ranks: Dict[int, int],
+    ) -> bool:
+        """A-bit rule (section 3.5.1): a copy is architectural when main
+        memory, a committed version or the head task supplied it."""
+        head = self.system.head_rank()
+        for source, cache_id in suppliers.values():
+            if source in (MEMORY, CLEAN):
+                continue
+            line = entries[cache_id]
+            if line.committed:
+                continue
+            if ranks.get(cache_id) == head:
+                continue
+            return False
+        return True
+
+    # -- BusRead -------------------------------------------------------------
+
+    def bus_read(
+        self, requestor: int, line_addr: int, now: int
+    ) -> Tuple[SVCLine, BusOutcome]:
+        system = self.system
+        amap = system.amap
+        full = amap.full_mask
+        cache = system.caches[requestor]
+        my_rank = system.task_rank(requestor)
+        if my_rank is None:
+            raise ProtocolError(f"cache {requestor} has no task for a BusRead")
+        # Room first: a ReplacementStall must abort before side effects.
+        now = max(now, self._make_room(requestor, line_addr, now))
+
+        entries = self._entries(line_addr)
+        ranks = self._ranks()
+        vol = build_vol(entries, ranks)
+        own = entries.get(requestor)
+        own_active = own is not None and not own.committed
+
+        if own_active:
+            position = vol.index(requestor)
+            keep_mask = own.valid_mask
+        else:
+            position = self._insertion_index(vol, entries, ranks, my_rank)
+            keep_mask = 0
+        need_mask = full & ~keep_mask
+
+        data, suppliers, stamps = self._compose(
+            line_addr, entries, vol, position, need_mask
+        )
+        from_memory = any(src == MEMORY for src, _ in suppliers.values())
+        cache_to_cache = any(src in (CACHE, CLEAN) for src, _ in suppliers.values())
+        architectural = self._suppliers_architectural(suppliers, entries, ranks)
+        self._clear_supplier_exclusivity(entries, suppliers)
+        self._revoke_earlier_exclusivity(entries, vol, position)
+
+        # EC design: a load supplied by a committed version writes it back
+        # and invalidates the committed versions it covers (Figure 12).
+        committed_supplied = any(
+            src == CACHE and entries[cid].committed for src, cid in suppliers.values()
+        )
+        own_committed_dirty = own is not None and own.committed and own.dirty
+        flushes = 0
+        if own_committed_dirty:
+            flushes += self._purge_committed(line_addr, retain_newest=False)
+        elif committed_supplied:
+            # Flush the newest committed version but retain the line
+            # (the final design's passive-dirty retention, section
+            # 3.8.1): once marked written-back it can be reused and even
+            # reactivated locally, and purges skip the redundant flush.
+            flushes += self._purge_committed(line_addr, retain_newest=True)
+
+        # The requestor's stale/retained committed entry gives way to the
+        # fresh active copy (one line per address per cache).
+        own_now = cache.line_for(line_addr)
+        if own_now is not None and own_now.committed:
+            if own_now.dirty and not own_now.written_back:
+                self._write_blocks(
+                    line_addr, own_now, own_now.store_mask & own_now.valid_mask
+                )
+                flushes += 1
+            cache.drop(line_addr)
+            own_now = None
+
+        supplier_seq = max(
+            (entries[cid].version_seq for src, cid in suppliers.values() if src == CACHE),
+            default=0,
+        )
+
+        if own_active:
+            line = own
+            vbs = amap.versioning_block_size
+            for block in amap.blocks_in_mask(need_mask):
+                start = block * vbs
+                line.data[start : start + vbs] = data[start : start + vbs]
+                line.block_content[block] = stamps[block]
+            line.valid_mask = full
+            line.architectural = line.architectural and architectural
+        else:
+            line = SVCLine(
+                data=data,
+                valid_mask=full,
+                architectural=architectural,
+                version_seq=supplier_seq,
+                task_id=my_rank,
+            )
+            line.ensure_block_stamps(amap.blocks_per_line)
+            for block, stamp in stamps.items():
+                line.block_content[block] = stamp
+            cache.install(line_addr, line)
+
+        # Snarf only architectural (read-shared) fills: that is the
+        # reference-spreading problem the HR design targets. Spreading
+        # copies of migratory version data would only revoke the
+        # writer's exclusivity and bounce the line harder.
+        snarf_ok = system.features.snarfing and all(
+            src != CACHE or entries[cid].committed
+            for src, cid in suppliers.values()
+        )
+        snarfed = self._snarf(requestor, line_addr, line, ranks) if snarf_ok else []
+
+        # Exclusive grant (the E-state analog of the X bit, section
+        # 3.1): when the fill leaves the requestor as the only holder of
+        # the line, a future store needs no invalidation window — any
+        # later install revokes the grant before it could matter.
+        if not snarfed:
+            holders = self._entries(line_addr)
+            if set(holders) == {requestor} and not line.committed:
+                line.exclusive = True
+
+        extra = system.bus.config.commit_flush_extra_cycles * flushes
+        transaction = system.bus.reserve(
+            now,
+            BusRequestKind.READ,
+            requestor,
+            line_addr,
+            cache_to_cache=cache_to_cache,
+            extra_cycles=extra,
+        )
+        end = transaction.end_cycle
+        if from_memory:
+            end += system.config.miss_penalty_cycles
+            system.stats.add("memory_supplies")
+
+        self._finalize(line_addr)
+        outcome = BusOutcome(
+            kind=BusRequestKind.READ,
+            end_cycle=end,
+            from_memory=from_memory,
+            cache_to_cache=cache_to_cache,
+            flushes=flushes,
+            snarfed_caches=snarfed,
+        )
+        return line, outcome
+
+    def _snarf(
+        self,
+        requestor: int,
+        line_addr: int,
+        new_line: SVCLine,
+        ranks: Dict[int, int],
+    ) -> List[int]:
+        """HR design: other caches copy the bus data when they could use
+        this same version and have a free way (section 3.6)."""
+        system = self.system
+        snarfed = []
+        entries = self._entries(line_addr)
+        vol = build_vol(entries, ranks)
+        for cache in system.caches:
+            cid = cache.cache_id
+            if cid == requestor or cache.current_task is None:
+                continue
+            if cache.line_for(line_addr) is not None:
+                continue
+            if not cache.array.has_free_way(line_addr):
+                continue
+            position = self._insertion_index(vol, entries, ranks, ranks[cid])
+            data, suppliers, stamps = self._compose(
+                line_addr, entries, vol, position, system.amap.full_mask
+            )
+            if bytes(data) != bytes(new_line.data):
+                continue
+            self._clear_supplier_exclusivity(entries, suppliers)
+            self._revoke_earlier_exclusivity(entries, vol, position)
+            copy = SVCLine(
+                data=bytearray(data),
+                valid_mask=system.amap.full_mask,
+                architectural=self._suppliers_architectural(suppliers, entries, ranks),
+                version_seq=new_line.version_seq,
+                task_id=ranks[cid],
+            )
+            copy.ensure_block_stamps(system.amap.blocks_per_line)
+            for block, stamp in stamps.items():
+                copy.block_content[block] = stamp
+            cache.install(line_addr, copy)
+            entries[cid] = copy
+            vol = build_vol(entries, ranks)
+            snarfed.append(cid)
+            system.stats.add("snarfs")
+        return snarfed
+
+    # -- BusWrite ------------------------------------------------------------
+
+    def bus_write(
+        self,
+        requestor: int,
+        line_addr: int,
+        addr: int,
+        size: int,
+        value: int,
+        now: int,
+    ) -> Tuple[SVCLine, BusOutcome]:
+        system = self.system
+        amap = system.amap
+        full = amap.full_mask
+        vbs = amap.versioning_block_size
+        cache = system.caches[requestor]
+        my_rank = system.task_rank(requestor)
+        if my_rank is None:
+            raise ProtocolError(f"cache {requestor} has no task for a BusWrite")
+        block_mask = amap.block_mask(addr, size)
+        # Room first: a ReplacementStall must abort before side effects.
+        now = max(now, self._make_room(requestor, line_addr, now))
+
+        entries = self._entries(line_addr)
+        ranks = self._ranks()
+        vol = build_vol(entries, ranks)
+        own = entries.get(requestor)
+        own_active = own is not None and not own.committed
+
+        # Blocks the store fully covers need no fill data.
+        offset = amap.line_offset(addr)
+        full_cover = 0
+        for block in amap.blocks_in_mask(block_mask):
+            start = block * vbs
+            if offset <= start and offset + size >= start + vbs:
+                full_cover |= 1 << block
+
+        if own_active:
+            position = vol.index(requestor)
+            keep_mask = own.valid_mask
+        else:
+            position = self._insertion_index(vol, entries, ranks, my_rank)
+            keep_mask = 0
+        need_mask = full & ~keep_mask & ~full_cover
+
+        data, suppliers, stamps = self._compose(
+            line_addr, entries, vol, position, need_mask
+        )
+        from_memory = any(src == MEMORY for src, _ in suppliers.values())
+        cache_to_cache = any(src in (CACHE, CLEAN) for src, _ in suppliers.values())
+        self._clear_supplier_exclusivity(entries, suppliers)
+        self._revoke_earlier_exclusivity(entries, vol, position)
+
+        # Projected content of the new version, used to patch copies
+        # under the write-update policy.
+        projected = bytearray(own.data) if own_active else bytearray(amap.line_size)
+        for block in amap.blocks_in_mask(need_mask):
+            start = block * vbs
+            projected[start : start + vbs] = data[start : start + vbs]
+        write_mask = (1 << (8 * size)) - 1
+        projected[offset : offset + size] = (value & write_mask).to_bytes(
+            size, "little"
+        )
+
+        # Invalidation window and violation detection (section 3.2.3,
+        # per versioning block as in section 3.7). The walk visits every
+        # later task's entry until each block meets the next version of
+        # that block. The window spans the *whole line*: a later L bit
+        # on a newly stored block is a violation; copies of every other
+        # block are invalidated or updated so that, when nothing
+        # downstream survives, the X bit can stand for "no later task
+        # holds any piece of this line" and future stores to any block
+        # complete locally.
+        viol_mask = block_mask
+        # The content stamp of the version state this store creates;
+        # patched copies must carry the same stamp as the version.
+        pending_content = system.next_content_seq()
+        squashed_ranks: List[int] = []
+        invalidations = 0
+        updates = 0
+        exclusive_ok = True
+        start_index = position + 1 if own_active else position
+        blocks_remaining = full
+        for index in range(start_index, len(vol)):
+            if not blocks_remaining:
+                break
+            cache_id = vol[index]
+            if cache_id == requestor:
+                raise ProtocolError("requestor encountered in its own window")
+            line = entries[cache_id]
+            if line.committed:
+                raise ProtocolError("committed entry after an active entry")
+            overlap = blocks_remaining
+            if line.load_mask & overlap & viol_mask:
+                # Use-before-definition by a later task: memory
+                # dependence violation; squash it and everything after.
+                squashed_ranks = system.squash_from_rank(
+                    ranks[cache_id], reason="violation"
+                )
+                break
+            if line.load_mask & overlap:
+                # A later task legitimately read a block we own or may
+                # come to own; its recorded interest forbids silent
+                # stores, which would bypass violation detection.
+                exclusive_ok = False
+            barrier = line.store_mask & overlap
+            if line.store_mask or line.load_mask & ~overlap:
+                # The entry survives the window (own version blocks, or
+                # L state beyond our reach): the line is not exclusive.
+                exclusive_ok = False
+            patch = overlap & ~line.store_mask
+            if patch:
+                done_invalidate, done_update = self._apply_window_policy(
+                    cache_id, line_addr, line, patch, projected, pending_content
+                )
+                invalidations += done_invalidate
+                updates += done_update
+                if done_update:
+                    # Updated copies stay live downstream; every further
+                    # store must go to the bus to re-patch them.
+                    exclusive_ok = False
+            blocks_remaining &= ~barrier
+
+        # Committed versions are purged when the requestor's own cache
+        # holds committed state — the new version needs the way, and the
+        # figure-13 semantics order the writebacks. A store elsewhere
+        # leaves committed versions resident (figure 12's pre-state).
+        flushes = 0
+        own_now = cache.line_for(line_addr)
+        if own_now is not None and own_now.committed:
+            if own_now.dirty:
+                flushes += self._purge_committed(line_addr, retain_newest=False)
+            own_now = cache.line_for(line_addr)
+            if own_now is not None:
+                cache.drop(line_addr)
+            own_now = None
+
+        if own_active:
+            line = own
+            for block in amap.blocks_in_mask(need_mask):
+                start = block * vbs
+                line.data[start : start + vbs] = data[start : start + vbs]
+                line.block_content[block] = stamps[block]
+            line.valid_mask |= need_mask | full_cover
+        else:
+            line = SVCLine(
+                data=bytearray(amap.line_size),
+                valid_mask=need_mask | full_cover,
+                task_id=my_rank,
+            )
+            line.ensure_block_stamps(amap.blocks_per_line)
+            for block in amap.blocks_in_mask(need_mask):
+                start = block * vbs
+                line.data[start : start + vbs] = data[start : start + vbs]
+                line.block_content[block] = stamps[block]
+            cache.install(line_addr, line)
+
+        cache.apply_store(line, addr, size, value, block_mask)
+        for block in amap.blocks_in_mask(block_mask):
+            line.block_content[block] = pending_content
+        # Version stamp: rank + 1, reserving 0 for copies of the
+        # architectural (memory) image so a rank-0 version is
+        # distinguishable from a pre-speculation memory copy.
+        line.version_seq = my_rank + 1
+        line.architectural = my_rank == system.head_rank()
+        line.written_back = False
+        line.exclusive = exclusive_ok
+
+        extra = system.bus.config.commit_flush_extra_cycles * flushes
+        transaction = system.bus.reserve(
+            now,
+            BusRequestKind.WRITE,
+            requestor,
+            line_addr,
+            store_mask=block_mask,
+            cache_to_cache=cache_to_cache,
+            extra_cycles=extra,
+        )
+        end = transaction.end_cycle
+        if from_memory:
+            end += system.config.miss_penalty_cycles
+            system.stats.add("memory_supplies")
+
+        self._finalize(line_addr)
+        outcome = BusOutcome(
+            kind=BusRequestKind.WRITE,
+            end_cycle=end,
+            from_memory=from_memory,
+            cache_to_cache=cache_to_cache,
+            flushes=flushes,
+            squashed_ranks=squashed_ranks,
+            invalidations=invalidations,
+            updates=updates,
+        )
+        return line, outcome
+
+    def _apply_window_policy(
+        self,
+        cache_id: int,
+        line_addr: int,
+        line: SVCLine,
+        patch: int,
+        projected: bytearray,
+        writer_content: int,
+    ) -> Tuple[int, int]:
+        """Invalidate or update the copy blocks a store made stale.
+
+        Pure invalidate clears the valid bits (the whole line drops when
+        nothing useful remains); pure update pushes the new version's
+        bytes into the copy; hybrid (section 3.8) updates copies whose
+        task has demonstrated interest (any L bit set) and invalidates
+        the rest.
+        """
+        system = self.system
+        policy = system.features.update_policy
+        if policy == UpdatePolicy.HYBRID:
+            policy = (
+                UpdatePolicy.UPDATE if line.load_mask else UpdatePolicy.INVALIDATE
+            )
+        if policy == UpdatePolicy.UPDATE:
+            vbs = system.amap.versioning_block_size
+            for block in system.amap.blocks_in_mask(patch):
+                start = block * vbs
+                line.data[start : start + vbs] = projected[start : start + vbs]
+                line.block_content[block] = writer_content
+            line.valid_mask |= patch
+            # The copy now carries speculative data; it must not survive
+            # a squash as "architectural".
+            line.architectural = False
+            system.stats.add("update_responses")
+            return 0, 1
+        line.valid_mask &= ~patch
+        system.stats.add("invalidation_responses")
+        if line.valid_mask == 0 and line.store_mask == 0 and line.load_mask == 0:
+            system.caches[cache_id].drop(line_addr)
+        return 1, 0
+
+    # -- cast-outs and drain ---------------------------------------------------
+
+    def cast_out(self, cache_id: int, line_addr: int, now: int) -> int:
+        """Replace a resident line; dirty lines go over the bus.
+
+        A committed dirty victim triggers a full committed purge of its
+        address, which preserves the program-order of writebacks; an
+        active dirty victim (legal only for the head task) writes its
+        blocks back after any committed versions.
+        """
+        system = self.system
+        cache = system.caches[cache_id]
+        line = cache.line_for(line_addr)
+        if line is None:
+            return now
+        if not line.dirty:
+            cache.drop(line_addr)
+            system.stats.add("silent_evictions")
+            self._finalize(line_addr)
+            return now
+
+        flushes = 0
+        if line.committed:
+            flushes += self._purge_committed(line_addr, retain_newest=False)
+        else:
+            if system.task_rank(cache_id) != system.head_rank():
+                raise ProtocolError(
+                    "only the head task may cast out an active dirty line"
+                )
+            flushes += self._purge_committed(line_addr, retain_newest=False)
+            self._write_blocks(line_addr, line, line.store_mask & line.valid_mask)
+            flushes += 1
+            cache.drop(line_addr)
+        extra = system.bus.config.commit_flush_extra_cycles * max(0, flushes - 1)
+        transaction = system.bus.reserve(
+            now, BusRequestKind.WBACK, cache_id, line_addr, extra_cycles=extra
+        )
+        self._finalize(line_addr)
+        return transaction.end_cycle
+
+    def drain(self) -> None:
+        """End-of-run flush of every committed version to memory."""
+        addresses = set()
+        for cache in self.system.caches:
+            for line_addr, line in cache.lines():
+                if line.dirty:
+                    if not line.committed:
+                        raise ProtocolError(
+                            "drain with uncommitted speculative state on "
+                            f"cache {cache.cache_id}, line {line_addr:#x}"
+                        )
+                    addresses.add(line_addr)
+        for line_addr in sorted(addresses):
+            self._purge_committed(line_addr, retain_newest=False)
+        for cache in self.system.caches:
+            cache.flash_invalidate_all()

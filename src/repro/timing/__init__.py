@@ -1,0 +1,17 @@
+"""Cycle-level multiscalar processor model (paper section 4.2).
+
+An event-driven simulator of the paper's evaluation machine: 4 PUs, each
+2-wide with a load/store queue that issues memory operations in program
+order, a task sequencer with prediction and in-order head commit, and a
+pluggable speculative memory system (SVC or ARB). Memory operations from
+all PUs are interleaved in global time order, so the protocol observes
+the same access order the cycles imply.
+
+The model's purpose is the paper's: measuring how hit latency, bus
+occupancy and squash behaviour shape IPC — not ISA-level fidelity.
+DESIGN.md section 3 lists the simplifications.
+"""
+
+from repro.timing.simulator import TimingReport, TimingSimulator
+
+__all__ = ["TimingReport", "TimingSimulator"]

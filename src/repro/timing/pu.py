@@ -1,0 +1,124 @@
+"""Per-PU pipeline timing: dual-issue scheduling and the LSQ.
+
+Each PU schedules its task's operations with an analytic in-order
+dual-issue model: an operation issues when its intra-task dependences
+have completed and an issue slot is free (``issue_width`` per cycle);
+compute operations complete ``latency`` cycles later, memory operations
+complete when the memory system says so. Memory operations issue in
+program order through the load/store queue — the paper's per-PU ordering
+guarantee — at most one per cycle (each PU has one address calculation
+unit).
+
+The scheduler runs *between* memory operations; at each memory operation
+it stops and reports the issue-ready time, so the global simulator can
+interleave all PUs' memory traffic in true time order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.config import ProcessorConfig
+from repro.hier.task import MemOp, OpKind, TaskProgram
+from repro.mem.mshr import MSHRFile
+
+
+@dataclass
+class PUTaskTiming:
+    """Scheduling state for one task execution attempt on one PU."""
+
+    pu_id: int
+    rank: int
+    program: TaskProgram
+    start_time: int
+    config: ProcessorConfig
+    mshrs: Optional[MSHRFile] = None
+
+    op_index: int = 0
+    completions: List[int] = field(default_factory=list)
+    _last_issue: int = 0
+    _slots_used: int = 0
+    _last_mem_issue: int = -1
+    #: Event-staleness guard: bumped when the attempt is squashed.
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        self.completions = [0] * len(self.program.ops)
+        self._last_issue = self.start_time
+        self._slots_used = 0
+        self._last_mem_issue = self.start_time - 1
+
+    # -- issue modeling ------------------------------------------------------
+
+    def _ready_time(self, op: MemOp) -> int:
+        ready = self.start_time
+        for dep in op.depends_on:
+            if 0 <= dep < self.op_index:
+                ready = max(ready, self.completions[dep])
+        return ready
+
+    def _take_issue_slot(self, ready: int) -> int:
+        """In-order ``issue_width``-per-cycle slot assignment."""
+        cycle = max(ready, self._last_issue)
+        if cycle == self._last_issue and self._slots_used >= self.config.issue_width:
+            cycle += 1
+        if cycle > self._last_issue:
+            self._last_issue = cycle
+            self._slots_used = 0
+        self._slots_used += 1
+        return cycle
+
+    # -- scheduling ---------------------------------------------------------------
+
+    def schedule_to_next_mem(self) -> Optional[Tuple[int, MemOp]]:
+        """Schedule compute ops up to the next memory op.
+
+        Returns ``(issue_ready_time, op)`` for the pending memory
+        operation, or ``None`` when the task has no further memory ops
+        (it then finishes at :meth:`done_time`).
+        """
+        ops = self.program.ops
+        while self.op_index < len(ops):
+            op = ops[self.op_index]
+            ready = self._ready_time(op)
+            if op.kind == OpKind.COMPUTE:
+                issue = self._take_issue_slot(ready)
+                self.completions[self.op_index] = issue + op.latency
+                self.op_index += 1
+                continue
+            # Memory op: one per cycle, program order through the LSQ,
+            # one cycle of address generation.
+            issue = self._take_issue_slot(ready)
+            issue = max(issue, self._last_mem_issue + 1)
+            issue += self.config.timing.agen_cycles
+            return issue, op
+        return None
+
+    def complete_mem(self, issue_time: int, end_time: int) -> None:
+        """Record the pending memory op's completion and move past it."""
+        self._last_mem_issue = issue_time
+        self.completions[self.op_index] = end_time
+        self.op_index += 1
+
+    def defer_mem(self, until: int) -> None:
+        """Push the pending memory op's issue time forward (stall)."""
+        self._last_mem_issue = max(self._last_mem_issue, until - 1)
+
+    def done_time(self) -> int:
+        """Completion time of the whole task (call when no mem pending)."""
+        if not self.program.ops:
+            return self.start_time
+        return max(max(self.completions), self.start_time)
+
+    def reset(self, new_start: int) -> None:
+        """Squash recovery: restart the attempt from scratch."""
+        self.epoch += 1
+        self.op_index = 0
+        self.completions = [0] * len(self.program.ops)
+        self.start_time = new_start
+        self._last_issue = new_start
+        self._slots_used = 0
+        self._last_mem_issue = new_start - 1
+        if self.mshrs is not None:
+            self.mshrs.flush()

@@ -1,0 +1,286 @@
+"""Event-driven whole-processor timing simulation.
+
+The simulator owns a global event heap keyed by cycle time; the only
+globally-ordered events are memory operations (and task completion /
+commit bookkeeping), because only memory interacts across PUs. Between
+memory operations each PU schedules its compute instructions analytically
+(:mod:`repro.timing.pu`), so simulation cost is O(ops), not O(cycles).
+
+Task-level behaviour follows the hierarchical execution model: dispatch
+in sequence order to free PUs, commit strictly in order from the head,
+squash-to-tail on memory-dependence violations and on task
+mispredictions (detected when the mispredicted task's predecessor
+commits — the point at which the sequencer knows the correct successor).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import ProcessorConfig
+from repro.common.errors import ReplacementStall, SimulationError
+from repro.hier.task import OpKind, TaskProgram
+from repro.mem.mshr import MSHRFile
+from repro.timing.pu import PUTaskTiming
+
+#: Cycles to wait before retrying a structurally stalled memory op.
+_STALL_RETRY = 8
+
+
+@dataclass
+class TimingReport:
+    """Results of one timing run."""
+
+    cycles: int
+    committed_instructions: int
+    committed_memory_ops: int
+    violation_squashes: int
+    misprediction_squashes: int
+    replacement_stall_retries: int
+    #: Memory operations actually issued, including re-executions of
+    #: squashed attempts; the excess over committed_memory_ops is the
+    #: wasted speculative work.
+    executed_memory_ops: int = 0
+    #: Cycles spent inside task commits. One cycle per task for the EC+
+    #: designs' flash commit; the base design's eager writebacks make
+    #: this the serial bottleneck of paper section 3.2.6.
+    commit_cycles: int = 0
+    memory_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.committed_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def wasted_memory_ops(self) -> int:
+        """Memory operations whose work was thrown away by squashes."""
+        return max(0, self.executed_memory_ops - self.committed_memory_ops)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable account of the run."""
+        return (
+            f"{self.committed_instructions} instructions in {self.cycles} "
+            f"cycles (IPC {self.ipc:.2f}); miss ratio "
+            f"{self.miss_ratio():.3f}, bus utilization "
+            f"{self.bus_utilization():.3f}; squashes: "
+            f"{self.violation_squashes} violation + "
+            f"{self.misprediction_squashes} misprediction "
+            f"({self.wasted_memory_ops} memory ops wasted); "
+            f"{self.replacement_stall_retries} replacement-stall retries"
+        )
+
+    def bus_utilization(self) -> float:
+        busy = self.memory_stats.get("bus_busy_cycles", 0)
+        return min(1.0, busy / self.cycles) if self.cycles else 0.0
+
+    def miss_ratio(self) -> float:
+        accesses = self.memory_stats.get("loads", 0) + self.memory_stats.get(
+            "stores", 0
+        )
+        if accesses == 0:
+            return 0.0
+        return self.memory_stats.get("memory_supplies", 0) / accesses
+
+
+class TimingSimulator:
+    """Runs a task list through a memory system, cycle-accurately."""
+
+    def __init__(
+        self,
+        system,
+        tasks: List[TaskProgram],
+        processor: Optional[ProcessorConfig] = None,
+    ) -> None:
+        self.system = system
+        self.tasks = tasks
+        self.processor = processor if processor is not None else ProcessorConfig(
+            n_pus=system.n_units
+        )
+        if self.processor.n_pus != system.n_units:
+            raise SimulationError(
+                "processor PU count must match the memory system's units"
+            )
+        self._events: List = []
+        self._seq = 0
+        self._states: Dict[int, Optional[PUTaskTiming]] = {
+            pu: None for pu in range(self.processor.n_pus)
+        }
+        self._rank_to_pu: Dict[int, int] = {}
+        self._done_at: Dict[int, int] = {}
+        self._committed: List[bool] = [False] * len(tasks)
+        self._next_dispatch = 0
+        self._mispredict_pending: Dict[int, bool] = {
+            rank: t.mispredicted for rank, t in enumerate(tasks) if t.mispredicted
+        }
+        self._violations = 0
+        self._mispredictions = 0
+        self._stall_retries = 0
+        self._executed_memory_ops = 0
+        self._commit_cycles = 0
+        self._last_commit_end = 0
+        per_unit = getattr(system, "mshrs_per_unit", 8)
+        combining = getattr(system, "mshr_combining", 4)
+        self._mshrs = {
+            pu: MSHRFile(per_unit, combining) for pu in range(self.processor.n_pus)
+        }
+
+    # -- event plumbing ---------------------------------------------------------
+
+    def _push(self, time: int, kind: str, pu: int, epoch: int) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (time, self._seq, kind, pu, epoch))
+
+    def _dispatch(self, pu: int, time: int) -> None:
+        if self._next_dispatch >= len(self.tasks):
+            return
+        rank = self._next_dispatch
+        self._next_dispatch += 1
+        start = time + self.processor.timing.task_dispatch_cycles
+        self.system.begin_task(pu, rank)
+        state = PUTaskTiming(
+            pu_id=pu,
+            rank=rank,
+            program=self.tasks[rank],
+            start_time=start,
+            config=self.processor,
+            mshrs=self._mshrs[pu],
+        )
+        self._states[pu] = state
+        self._rank_to_pu[rank] = pu
+        self._schedule(pu, start)
+
+    def _schedule(self, pu: int, time: int) -> None:
+        state = self._states[pu]
+        pending = state.schedule_to_next_mem()
+        if pending is None:
+            done = state.done_time()
+            self._push(max(done, time), "done", pu, state.epoch)
+        else:
+            issue, _op = pending
+            self._push(max(issue, time), "mem", pu, state.epoch)
+
+    # -- squash handling -----------------------------------------------------------
+
+    def _restart_squashed(self, squashed_ranks: List[int], now: int) -> None:
+        """Re-dispatch squashed (but still assigned) tasks on their PUs."""
+        restart = now + self.processor.timing.squash_restart_cycles
+        for rank in sorted(squashed_ranks):
+            pu = self._rank_to_pu[rank]
+            state = self._states[pu]
+            state.reset(restart)
+            self._done_at.pop(rank, None)
+            self.system.begin_task(pu, rank)
+            self._schedule(pu, restart)
+
+    # -- memory events ----------------------------------------------------------------
+
+    def _handle_mem(self, pu: int, now: int) -> None:
+        state = self._states[pu]
+        op = state.program.ops[state.op_index]
+        mshrs = self._mshrs[pu]
+        mshrs.pop_ready(now)
+        if mshrs.is_full():
+            retry = max(mshrs.earliest_ready() or now, now + 1)
+            state.defer_mem(retry)
+            self._schedule(pu, retry)
+            return
+        try:
+            if op.kind == OpKind.LOAD:
+                result = self.system.load(pu, op.addr, op.size, now=now)
+                end = result.end_cycle
+            else:
+                result = self.system.store(pu, op.addr, op.value, op.size, now=now)
+                # Stores retire into the store buffer; dependents (none,
+                # by construction) would see them a cycle later.
+                end = now + 1
+        except ReplacementStall:
+            self._stall_retries += 1
+            state.defer_mem(now + _STALL_RETRY)
+            self._schedule(pu, now + _STALL_RETRY)
+            return
+        self._executed_memory_ops += 1
+        if not result.hit:
+            line_addr = self.system.amap.line_address(op.addr)
+            mshrs.allocate(line_addr, state.op_index, result.end_cycle)
+        state.complete_mem(now, end)
+        squashed = list(result.squashed_ranks)
+        if squashed:
+            self._violations += 1
+            self._restart_squashed(squashed, now)
+        self._schedule(pu, now)
+
+    # -- commit machinery -----------------------------------------------------------------
+
+    def _head_rank(self) -> Optional[int]:
+        for rank, committed in enumerate(self._committed):
+            if not committed:
+                return rank
+        return None
+
+    def _try_commits(self, now: int) -> None:
+        while True:
+            head = self._head_rank()
+            if head is None or head not in self._done_at:
+                return
+            pu = self._rank_to_pu[head]
+            commit_start = max(now, self._done_at[head])
+            end = self.system.commit_head(pu, now=commit_start)
+            self._commit_cycles += max(0, end - commit_start)
+            self._committed[head] = True
+            self._last_commit_end = max(self._last_commit_end, end)
+            self._states[pu] = None
+            del self._rank_to_pu[head]
+            self._mshrs[pu].flush()
+
+            # Misprediction detection: committing task ``head`` reveals
+            # whether its successor was the right task to dispatch.
+            successor = head + 1
+            if self._mispredict_pending.pop(successor, False):
+                if successor in self._rank_to_pu:
+                    self._mispredictions += 1
+                    squashed = self.system.squash_from_rank(
+                        successor, reason="misprediction"
+                    )
+                    self._restart_squashed(squashed, end)
+            self._dispatch(pu, end)
+            now = end
+
+    # -- main loop ----------------------------------------------------------------------------
+
+    def run(self) -> TimingReport:
+        for pu in range(self.processor.n_pus):
+            self._dispatch(pu, pu)  # sequencer dispatches one task per cycle
+        guard = 0
+        limit = 200 * (sum(len(t.ops) + 4 for t in self.tasks) + 100)
+        while self._events:
+            guard += 1
+            if guard > limit:
+                raise SimulationError("timing simulation exceeded event budget")
+            time, _seq, kind, pu, epoch = heapq.heappop(self._events)
+            state = self._states[pu]
+            if state is None or state.epoch != epoch:
+                continue  # stale event from a squashed attempt
+            if kind == "mem":
+                self._handle_mem(pu, time)
+            elif kind == "done":
+                self._done_at[state.rank] = time
+                self._try_commits(time)
+        if not all(self._committed):
+            raise SimulationError("timing run ended with uncommitted tasks")
+        self.system.drain()
+
+        committed_instructions = sum(len(t.ops) for t in self.tasks)
+        committed_memory = sum(len(t.memory_ops) for t in self.tasks)
+        return TimingReport(
+            cycles=max(self._last_commit_end, 1),
+            committed_instructions=committed_instructions,
+            committed_memory_ops=committed_memory,
+            violation_squashes=self._violations,
+            misprediction_squashes=self._mispredictions,
+            replacement_stall_retries=self._stall_retries,
+            executed_memory_ops=self._executed_memory_ops,
+            commit_cycles=self._commit_cycles,
+            memory_stats=self.system.stats.snapshot(),
+        )

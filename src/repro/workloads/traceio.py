@@ -1,0 +1,102 @@
+"""Task-trace serialization: run your own workloads through the machines.
+
+A trace file is JSON-lines: one object per task, ops encoded compactly.
+This is the interchange point for driving the SVC/ARB with externally
+generated address streams (e.g. from an instrumented application or
+another simulator) instead of the built-in synthetic generators.
+
+Format (one line per task)::
+
+    {"name": "t0", "mispredicted": false,
+     "ops": [["L", addr, size],
+             ["S", addr, size, value],
+             ["S", addr, size, value, [value_dep, ...]],
+             ["C", latency, [dep, ...]]]}
+
+Loads may also carry a trailing dependence list. Unknown op codes are
+rejected loudly; round-tripping is exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.common.errors import ConfigError
+from repro.hier.task import MemOp, OpKind, TaskProgram
+
+
+def _encode_op(op: MemOp) -> list:
+    if op.kind == OpKind.LOAD:
+        encoded = ["L", op.addr, op.size]
+        if op.depends_on:
+            encoded.append(list(op.depends_on))
+        return encoded
+    if op.kind == OpKind.STORE:
+        encoded = ["S", op.addr, op.size, op.value]
+        if op.value_deps or op.depends_on:
+            encoded.append(list(op.value_deps))
+        if op.depends_on:
+            encoded.append(list(op.depends_on))
+        return encoded
+    if op.kind == OpKind.COMPUTE:
+        return ["C", op.latency, list(op.depends_on)]
+    raise ConfigError(f"cannot encode op kind {op.kind!r}")
+
+
+def _decode_op(encoded: list) -> MemOp:
+    code = encoded[0]
+    if code == "L":
+        deps = tuple(encoded[3]) if len(encoded) > 3 else ()
+        return MemOp.load(encoded[1], encoded[2], depends_on=deps)
+    if code == "S":
+        value_deps = tuple(encoded[4]) if len(encoded) > 4 else ()
+        deps = tuple(encoded[5]) if len(encoded) > 5 else ()
+        return MemOp.store(
+            encoded[1], encoded[3], encoded[2],
+            value_deps=value_deps, depends_on=deps,
+        )
+    if code == "C":
+        return MemOp.compute(latency=encoded[1], depends_on=tuple(encoded[2]))
+    raise ConfigError(f"unknown op code {code!r} in trace")
+
+
+def dump_tasks(tasks: Iterable[TaskProgram], path: Union[str, Path]) -> None:
+    """Write a task list as a JSON-lines trace file."""
+    with open(path, "w") as handle:
+        for task in tasks:
+            record = {
+                "name": task.name,
+                "mispredicted": task.mispredicted,
+                "ops": [_encode_op(op) for op in task.ops],
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_tasks(path: Union[str, Path]) -> List[TaskProgram]:
+    """Read a JSON-lines trace file back into task programs."""
+    tasks: List[TaskProgram] = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(f"trace line {line_no}: bad JSON: {exc}") from exc
+            try:
+                ops = [_decode_op(op) for op in record["ops"]]
+            except (KeyError, IndexError, TypeError) as exc:
+                raise ConfigError(
+                    f"trace line {line_no}: malformed op list"
+                ) from exc
+            tasks.append(
+                TaskProgram(
+                    ops=ops,
+                    name=record.get("name"),
+                    mispredicted=bool(record.get("mispredicted", False)),
+                )
+            )
+    return tasks

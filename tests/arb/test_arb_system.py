@@ -1,0 +1,134 @@
+"""ARBSystem: speculative versioning semantics in the shared buffer."""
+
+import pytest
+
+from repro.arb.system import ARBSystem
+from repro.common.config import ARBConfig, CacheGeometry
+from repro.common.errors import ProtocolError, ReplacementStall
+
+A = 0x1000
+
+
+def make_arb(n_rows=16, hit_cycles=1):
+    config = ARBConfig(
+        n_rows=n_rows,
+        hit_cycles=hit_cycles,
+        cache_geometry=CacheGeometry(size_bytes=512, associativity=1, line_size=16),
+    )
+    system = ARBSystem(config)
+    for unit in range(system.n_units):
+        system.begin_task(unit, unit)
+    return system
+
+
+class TestForwarding:
+    def test_closest_previous_stage_supplies(self):
+        arb = make_arb()
+        arb.store(0, A, 10)
+        arb.store(1, A, 11)
+        arb.store(3, A, 13)
+        assert arb.load(2, A).value == 11
+
+    def test_memory_supplies_when_no_stage(self):
+        arb = make_arb()
+        arb.memory.write_int(A, 4, 0x77)
+        result = arb.load(2, A)
+        assert result.value == 0x77
+        assert result.from_memory  # cold data cache
+
+    def test_byte_level_disambiguation(self):
+        arb = make_arb()
+        arb.store(0, A, 0xAA, size=1)
+        arb.store(1, A + 1, 0xBB, size=1)
+        assert arb.load(2, A, size=2).value == 0xBBAA
+
+
+class TestViolations:
+    def test_late_store_squashes_exposed_load(self):
+        arb = make_arb()
+        arb.load(2, A)
+        result = arb.store(0, A, 5)
+        assert result.squashed_ranks == [2, 3]
+
+    def test_intervening_store_shields(self):
+        arb = make_arb()
+        arb.store(1, A, 1)
+        arb.load(2, A)       # reads task 1's value: correct forever
+        result = arb.store(0, A, 0)
+        assert result.squashed_ranks == []
+
+    def test_own_store_shields_own_load(self):
+        arb = make_arb()
+        arb.store(2, A, 2)
+        arb.load(2, A)
+        result = arb.store(0, A, 0)
+        assert result.squashed_ranks == []
+
+
+class TestCommitSquash:
+    def test_commit_drains_to_data_cache_in_order(self):
+        arb = make_arb()
+        arb.store(0, A, 1)
+        arb.store(1, A, 2)
+        arb.commit_head(0)
+        arb.commit_head(1)
+        arb.begin_task(0, 4)
+        assert arb.load(0, A).value == 2
+        arb.drain()
+        assert arb.memory.read_int(A, 4) == 2
+
+    def test_commit_requires_head(self):
+        arb = make_arb()
+        with pytest.raises(ProtocolError):
+            arb.commit_head(2)
+
+    def test_squash_clears_stage_entries(self):
+        arb = make_arb()
+        arb.store(2, A, 7)
+        arb.squash_from_rank(2)
+        arb.begin_task(2, 2)
+        arb.begin_task(3, 3)
+        assert arb.load(3, A).value == 0  # the squashed store vanished
+
+    def test_drain_refuses_uncommitted_stores(self):
+        arb = make_arb()
+        arb.store(1, A, 1)
+        with pytest.raises(ProtocolError):
+            arb.drain()
+
+
+class TestCapacity:
+    def test_speculative_task_stalls_when_full(self):
+        arb = make_arb(n_rows=2)
+        arb.store(1, 0x100, 1)
+        arb.store(1, 0x200, 2)
+        with pytest.raises(ReplacementStall):
+            arb.store(1, 0x300, 3)
+
+    def test_head_reclaims_by_squashing_youngest(self):
+        arb = make_arb(n_rows=2)
+        arb.store(3, 0x100, 1)
+        arb.store(3, 0x200, 2)
+        result = arb.store(0, 0x300, 3)  # head must not deadlock
+        assert 3 in result.squashed_ranks
+        assert arb.stats.get("squashes_arb_reclaim") >= 1
+
+    def test_head_load_bypasses_full_buffer(self):
+        arb = make_arb(n_rows=2)
+        arb.memory.write_int(0x300, 4, 9)
+        arb.store(3, 0x100, 1)
+        arb.store(3, 0x200, 2)
+        assert arb.load(0, 0x300).value == 9  # no stall, no reclaim
+
+
+class TestTiming:
+    def test_every_access_pays_hit_latency(self):
+        arb = make_arb(hit_cycles=3)
+        arb.store(0, A, 1)
+        result = arb.load(0, A, now=100)
+        assert result.end_cycle == 103
+
+    def test_miss_adds_memory_penalty(self):
+        arb = make_arb(hit_cycles=2)
+        result = arb.load(0, 0x2000, now=0)
+        assert result.end_cycle == 2 + arb.config.miss_penalty_cycles

@@ -1,0 +1,75 @@
+"""ARB row/stage storage."""
+
+import pytest
+
+from repro.arb.buffer import AddressResolutionBuffer, ARBEntry, ARBRow
+from repro.common.errors import ConfigError, ProtocolError
+
+
+def test_allocate_and_lookup():
+    arb = AddressResolutionBuffer(4)
+    row = arb.lookup_or_allocate(0x100)
+    assert row.word_addr == 0x100
+    assert arb.lookup(0x100) is row
+    assert arb.occupancy() == 1
+
+
+def test_full_buffer_returns_none():
+    arb = AddressResolutionBuffer(1)
+    arb.lookup_or_allocate(0x100)
+    assert arb.lookup_or_allocate(0x200) is None
+
+
+def test_existing_row_found_even_when_full():
+    arb = AddressResolutionBuffer(1)
+    first = arb.lookup_or_allocate(0x100)
+    assert arb.lookup_or_allocate(0x100) is first
+
+
+def test_entry_for_creates_once():
+    row = ARBRow(word_addr=0x100)
+    entry = row.entry_for(3)
+    entry.store_mask = 0b1111
+    assert row.entry_for(3) is entry
+
+
+def test_release_if_empty():
+    arb = AddressResolutionBuffer(4)
+    row = arb.lookup_or_allocate(0x100)
+    row.entry_for(0).load_mask = 1
+    arb.release_if_empty(0x100)
+    assert arb.lookup(0x100) is not None  # not empty: kept
+    row.entries[0].load_mask = 0
+    arb.release_if_empty(0x100)
+    assert arb.lookup(0x100) is None
+
+
+def test_clear_rank_drops_entries_and_empty_rows():
+    arb = AddressResolutionBuffer(4)
+    row = arb.lookup_or_allocate(0x100)
+    row.entry_for(5).store_mask = 1
+    row.entry_for(6).store_mask = 1
+    arb.clear_rank(5)
+    assert 5 not in arb.lookup(0x100).entries
+    arb.clear_rank(6)
+    assert arb.lookup(0x100) is None
+
+
+def test_validate_window():
+    arb = AddressResolutionBuffer(4)
+    arb.lookup_or_allocate(0x100).entry_for(5).load_mask = 1
+    arb.validate_window([5, 6])
+    with pytest.raises(ProtocolError):
+        arb.validate_window([6])
+
+
+def test_zero_rows_rejected():
+    with pytest.raises(ConfigError):
+        AddressResolutionBuffer(0)
+
+
+def test_entry_empty_property():
+    entry = ARBEntry()
+    assert entry.empty
+    entry.load_mask = 1
+    assert not entry.empty

@@ -1,0 +1,45 @@
+"""Shared direct-mapped data cache behind the ARB."""
+
+from repro.arb.data_cache import SharedDataCache
+from repro.common.config import CacheGeometry
+from repro.mem.main_memory import MainMemory
+
+
+def make_cache():
+    memory = MainMemory()
+    geometry = CacheGeometry(size_bytes=256, associativity=1, line_size=16)
+    return SharedDataCache(geometry, memory), memory
+
+
+def test_read_miss_fills_from_memory():
+    cache, memory = make_cache()
+    memory.write_int(0x100, 4, 0x42)
+    data, hit = cache.read(0x100, 4)
+    assert not hit
+    assert int.from_bytes(data, "little") == 0x42
+    _, hit = cache.read(0x100, 4)
+    assert hit
+
+
+def test_write_allocates_and_dirties():
+    cache, memory = make_cache()
+    hit = cache.write(0x100, (0x7).to_bytes(4, "little"))
+    assert not hit
+    data, hit = cache.read(0x100, 4)
+    assert hit and int.from_bytes(data, "little") == 7
+
+
+def test_conflict_eviction_writes_back_dirty():
+    cache, memory = make_cache()
+    cache.write(0x000, (11).to_bytes(4, "little"))
+    # Same set in a 256B direct-mapped cache: +256 bytes.
+    cache.read(0x100, 4)
+    assert memory.read_int(0x000, 4) == 11
+    assert cache.stats.get("dcache_writebacks") == 1
+
+
+def test_drain_flushes_dirty_lines():
+    cache, memory = make_cache()
+    cache.write(0x40, (9).to_bytes(4, "little"))
+    cache.drain()
+    assert memory.read_int(0x40, 4) == 9

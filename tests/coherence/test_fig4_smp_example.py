@@ -1,0 +1,55 @@
+"""Paper Figure 4: the four snapshots of the SMP coherence example.
+
+The 4-PU SMP with caches X, Y, Z, W (here 0, 1, 2, 3):
+
+1. cache X holds address A dirty (it stored earlier);
+2. PU Z loads A: BusRead, X flushes, both end Clean;
+3. PU Y stores A: BusWrite invalidates the copies in X and Z, Y Dirty;
+4. cache Y replaces the line: BusWback, only memory holds the data.
+"""
+
+from repro.bus.requests import BusRequestKind
+from repro.coherence.protocol import CoherenceState as S
+from repro.coherence.system import SMPSystem
+
+A = 0x100
+X, Y, Z, W = 0, 1, 2, 3
+
+
+def test_figure4_timeline():
+    smp = SMPSystem(n_caches=4)
+    smp.bus.keep_history = True
+
+    # Snapshot 1: X has a dirty copy (value from a prior store).
+    smp.store(X, A, 0x99)
+    assert smp.states_of(A) == [S.DIRTY, S.INVALID, S.INVALID, S.INVALID]
+
+    # Snapshot 2: Z loads A; X flushes on the BusRead; both clean.
+    value = smp.load(Z, A)
+    assert value == 0x99
+    assert smp.states_of(A) == [S.CLEAN, S.INVALID, S.CLEAN, S.INVALID]
+    assert smp.bus.history[-1].kind == BusRequestKind.READ
+    assert smp.bus.history[-1].cache_to_cache
+    # The flush updates memory as well.
+    assert smp.memory.read_int(A, 4) == 0x99
+
+    # Snapshot 3: Y stores A; BusWrite invalidates X's and Z's copies.
+    smp.store(Y, A, 0x42)
+    assert smp.states_of(A) == [S.INVALID, S.DIRTY, S.INVALID, S.INVALID]
+    assert smp.bus.history[-1].kind == BusRequestKind.WRITE
+
+    # Snapshot 4: Y casts the line out; only memory has a valid copy.
+    smp.replace(Y, A)
+    assert smp.states_of(A) == [S.INVALID] * 4
+    assert smp.bus.history[-1].kind == BusRequestKind.WBACK
+    assert smp.memory.read_int(A, 4) == 0x42
+
+
+def test_at_most_one_dirty_copy_ever():
+    smp = SMPSystem(n_caches=4)
+    smp.store(0, A, 1)
+    smp.store(1, A, 2)
+    smp.store(2, A, 3)
+    states = smp.states_of(A)
+    assert states.count(S.DIRTY) == 1
+    assert smp.load(3, A) == 3

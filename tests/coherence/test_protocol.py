@@ -1,0 +1,73 @@
+"""MRSW protocol FSM (paper Figure 3): per-cache transitions."""
+
+from repro.common.config import CacheGeometry
+from repro.coherence.protocol import CoherenceState, SMPCache
+
+
+def make_cache():
+    return SMPCache(0, CacheGeometry(size_bytes=256, associativity=2, line_size=16))
+
+
+def test_initially_invalid():
+    cache = make_cache()
+    assert cache.state_of(0x100) == CoherenceState.INVALID
+    assert cache.probe_load(0x100) is None
+
+
+def test_load_hits_clean_and_dirty():
+    cache = make_cache()
+    cache.fill(0x100, bytes(16), CoherenceState.CLEAN)
+    assert cache.probe_load(0x100) is not None
+    cache.fill(0x200, bytes(16), CoherenceState.DIRTY)
+    assert cache.probe_load(0x200) is not None
+
+
+def test_store_hits_only_dirty():
+    cache = make_cache()
+    cache.fill(0x100, bytes(16), CoherenceState.CLEAN)
+    _line, hit = cache.probe_store(0x100)
+    assert not hit
+    cache.fill(0x200, bytes(16), CoherenceState.DIRTY)
+    _line, hit = cache.probe_store(0x200)
+    assert hit
+
+
+def test_snoop_read_flushes_dirty_to_clean():
+    cache = make_cache()
+    cache.fill(0x100, bytes([7] * 16), CoherenceState.DIRTY)
+    flushed = cache.snoop_read(0x100)
+    assert flushed == bytes([7] * 16)
+    assert cache.state_of(0x100) == CoherenceState.CLEAN
+
+
+def test_snoop_read_ignores_clean():
+    cache = make_cache()
+    cache.fill(0x100, bytes(16), CoherenceState.CLEAN)
+    assert cache.snoop_read(0x100) is None
+    assert cache.state_of(0x100) == CoherenceState.CLEAN
+
+
+def test_snoop_write_invalidates_and_flushes_dirty():
+    cache = make_cache()
+    cache.fill(0x100, bytes([9] * 16), CoherenceState.DIRTY)
+    flushed = cache.snoop_write(0x100)
+    assert flushed == bytes([9] * 16)
+    assert cache.state_of(0x100) == CoherenceState.INVALID
+
+
+def test_snoop_write_invalidates_clean_silently():
+    cache = make_cache()
+    cache.fill(0x100, bytes(16), CoherenceState.CLEAN)
+    assert cache.snoop_write(0x100) is None
+    assert cache.state_of(0x100) == CoherenceState.INVALID
+
+
+def test_fill_evicts_lru():
+    cache = make_cache()
+    # 2-way: three lines in set 0 (set stride is 8 lines of 16B).
+    cache.fill(0x000, bytes(16), CoherenceState.CLEAN)
+    cache.fill(0x080, bytes(16), CoherenceState.DIRTY)
+    victim = cache.fill(0x100, bytes(16), CoherenceState.CLEAN)
+    assert victim is not None
+    victim_addr, victim_line = victim
+    assert victim_addr == 0x000

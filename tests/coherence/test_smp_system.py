@@ -1,0 +1,63 @@
+"""SMP system end-to-end: consistency against a flat reference memory."""
+
+import random
+
+from repro.coherence.system import SMPSystem
+
+
+def test_read_your_own_write():
+    smp = SMPSystem()
+    smp.store(0, 0x100, 7)
+    assert smp.load(0, 0x100) == 7
+
+
+def test_write_propagates_to_all_readers():
+    smp = SMPSystem()
+    smp.store(2, 0x100, 13)
+    assert all(smp.load(i, 0x100) == 13 for i in range(4))
+
+
+def test_last_writer_wins():
+    smp = SMPSystem()
+    for i in range(4):
+        smp.store(i, 0x100, i + 1)
+    assert smp.load(0, 0x100) == 4
+
+
+def test_sub_line_stores_merge():
+    smp = SMPSystem()
+    smp.store(0, 0x100, 0xAA, size=1)
+    smp.store(1, 0x101, 0xBB, size=1)
+    assert smp.load(2, 0x100, size=2) == 0xBBAA
+
+
+def test_random_trace_matches_flat_memory():
+    """Any interleaving of loads/stores across caches must behave like a
+    single flat memory (MRSW: there is only ever one version)."""
+    rng = random.Random(7)
+    smp = SMPSystem()
+    reference = {}
+    addrs = [0x1000 + 4 * i for i in range(64)]  # spans sets, forces evictions
+    for step in range(2000):
+        cache_id = rng.randrange(4)
+        addr = rng.choice(addrs)
+        if rng.random() < 0.5:
+            value = rng.randrange(1 << 32)
+            smp.store(cache_id, addr, value)
+            reference[addr] = value
+        else:
+            assert smp.load(cache_id, addr) == reference.get(addr, 0)
+    smp.drain()
+    for addr, value in reference.items():
+        assert smp.memory.read_int(addr, 4) == value
+
+
+def test_writeback_on_eviction_preserves_data():
+    smp = SMPSystem()
+    # More dirty lines in one set than ways: evictions must write back.
+    n_sets = smp.geometry.n_sets
+    addrs = [0x0 + i * n_sets * 16 for i in range(6)]
+    for i, addr in enumerate(addrs):
+        smp.store(0, addr, i + 100)
+    for i, addr in enumerate(addrs):
+        assert smp.load(1, addr) == i + 100

@@ -1,0 +1,99 @@
+"""AddressMap: line/block math used by every cache in the repository."""
+
+import pytest
+
+from repro.common.addresses import AddressMap
+from repro.common.errors import ConfigError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        amap = AddressMap()
+        assert amap.line_size == 16
+        assert amap.versioning_block_size == 4
+        assert amap.blocks_per_line == 4
+        assert amap.full_mask == 0b1111
+
+    def test_single_block_line(self):
+        amap = AddressMap(line_size=4, versioning_block_size=4)
+        assert amap.blocks_per_line == 1
+        assert amap.full_mask == 0b1
+
+    def test_byte_blocks(self):
+        amap = AddressMap(line_size=16, versioning_block_size=1)
+        assert amap.blocks_per_line == 16
+
+    @pytest.mark.parametrize("line_size", [0, 3, 12, -16])
+    def test_rejects_non_power_of_two_line(self, line_size):
+        with pytest.raises(ConfigError):
+            AddressMap(line_size=line_size)
+
+    def test_rejects_block_larger_than_line(self):
+        with pytest.raises(ConfigError):
+            AddressMap(line_size=4, versioning_block_size=8)
+
+
+class TestLineMath:
+    def test_line_address(self):
+        amap = AddressMap()
+        assert amap.line_address(0x1234) == 0x1230
+        assert amap.line_address(0x1230) == 0x1230
+        assert amap.line_address(0x123F) == 0x1230
+
+    def test_line_offset(self):
+        amap = AddressMap()
+        assert amap.line_offset(0x1234) == 4
+        assert amap.line_offset(0x1230) == 0
+
+    def test_block_index(self):
+        amap = AddressMap()
+        assert amap.block_index(0x1230) == 0
+        assert amap.block_index(0x1234) == 1
+        assert amap.block_index(0x123C) == 3
+
+
+class TestMasks:
+    def test_word_access_mask(self):
+        amap = AddressMap()
+        assert amap.block_mask(0x1234, 4) == 0b0010
+
+    def test_multi_block_access(self):
+        amap = AddressMap()
+        assert amap.block_mask(0x1234, 8) == 0b0110
+
+    def test_byte_access(self):
+        amap = AddressMap()
+        assert amap.block_mask(0x1235, 1) == 0b0010
+
+    def test_straddling_access_rejected(self):
+        amap = AddressMap()
+        with pytest.raises(ConfigError):
+            amap.block_mask(0x123C, 8)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMap().block_mask(0x1230, 0)
+
+    def test_full_cover_word(self):
+        amap = AddressMap()
+        assert amap.full_cover_mask(0x1234, 4) == 0b0010
+
+    def test_full_cover_partial_is_empty(self):
+        amap = AddressMap()
+        assert amap.full_cover_mask(0x1235, 1) == 0
+        assert amap.full_cover_mask(0x1234, 2) == 0
+
+    def test_full_cover_two_blocks(self):
+        amap = AddressMap()
+        assert amap.full_cover_mask(0x1230, 8) == 0b0011
+
+    def test_blocks_in_mask(self):
+        amap = AddressMap()
+        assert amap.blocks_in_mask(0b1010) == [1, 3]
+        assert amap.blocks_in_mask(0) == []
+
+    def test_byte_range_of_block(self):
+        amap = AddressMap()
+        assert list(amap.byte_range_of_block(0x1230, 1)) == [
+            0x1234, 0x1235, 0x1236, 0x1237
+        ]

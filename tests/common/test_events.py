@@ -1,0 +1,32 @@
+"""EventLog: the protocol trace consumed by figure tests and examples."""
+
+from repro.common.events import EventLog
+
+
+def test_emit_and_query():
+    log = EventLog()
+    log.emit("squash", source="svc", cache=2, rank=5)
+    log.emit("commit", source="svc", cache=0, rank=0)
+    assert len(log) == 2
+    assert len(log.of_kind("squash")) == 1
+    assert log.last().kind == "commit"
+    assert log.last("squash").detail["rank"] == 5
+
+
+def test_last_missing_kind_is_none():
+    assert EventLog().last("nothing") is None
+
+
+def test_describe_renders_all_events():
+    log = EventLog()
+    log.emit("bus", source="bus", request="BusRead", line_addr=0x100)
+    text = log.describe()
+    assert "BusRead" in text
+    assert "[bus]" in text
+
+
+def test_clear():
+    log = EventLog()
+    log.emit("x", source="y")
+    log.clear()
+    assert len(log) == 0

@@ -1,0 +1,107 @@
+"""Hypothesis properties of the substrate data structures."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.addresses import AddressMap
+from repro.mem.main_memory import MainMemory
+from repro.mem.storage import SetAssociativeArray
+from repro.common.config import CacheGeometry
+
+POWERS = [4, 8, 16, 32]
+
+
+class TestAddressMapProperties:
+    @given(
+        line_size=st.sampled_from(POWERS),
+        addr=st.integers(0, 2**24),
+    )
+    def test_line_address_idempotent_and_aligned(self, line_size, addr):
+        amap = AddressMap(line_size=line_size, versioning_block_size=4)
+        line = amap.line_address(addr)
+        assert line % line_size == 0
+        assert amap.line_address(line) == line
+        assert line <= addr < line + line_size
+
+    @given(addr=st.integers(0, 2**24))
+    def test_offset_plus_line_reconstructs(self, addr):
+        amap = AddressMap()
+        assert amap.line_address(addr) + amap.line_offset(addr) == addr
+
+    @given(
+        addr=st.integers(0, 2**20),
+        size=st.sampled_from([1, 2, 4]),
+    )
+    def test_block_mask_covers_every_byte(self, addr, size):
+        amap = AddressMap()
+        addr -= addr % size  # aligned accesses
+        mask = amap.block_mask(addr, size)
+        for byte in range(size):
+            assert mask & (1 << amap.block_index(addr + byte))
+
+    @given(addr=st.integers(0, 2**20), size=st.sampled_from([1, 2, 4]))
+    def test_full_cover_is_subset_of_block_mask(self, addr, size):
+        amap = AddressMap()
+        addr -= addr % size
+        full = amap.full_cover_mask(addr, size)
+        mask = amap.block_mask(addr, size)
+        assert full & ~mask == 0
+
+
+class TestMainMemoryProperties:
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 255), st.sampled_from([1, 2, 4]),
+                      st.integers(0, 2**32 - 1)),
+            max_size=30,
+        )
+    )
+    def test_matches_flat_dict(self, writes):
+        memory = MainMemory()
+        reference = {}
+        for slot, size, value in writes:
+            addr = 0x1000 + slot * 4
+            memory.write_int(addr, size, value)
+            for i, byte in enumerate(
+                (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+            ):
+                reference[addr + i] = byte
+        for addr, byte in reference.items():
+            assert memory.read_byte(addr) == byte
+        assert memory.image() == {a: b for a, b in reference.items() if b}
+
+
+class TestLRUProperties:
+    @given(
+        accesses=st.lists(st.integers(0, 5), min_size=1, max_size=40),
+    )
+    def test_occupancy_never_exceeds_ways(self, accesses):
+        geometry = CacheGeometry(size_bytes=64, associativity=2, line_size=16)
+        array = SetAssociativeArray(geometry)
+        for slot in accesses:
+            # All addresses land in the same set (stride = n_sets*line).
+            addr = slot * geometry.n_sets * geometry.line_size
+            if addr in array:
+                array.lookup(addr)
+                continue
+            if array.set_is_full(addr):
+                victim_addr, _ = array.choose_victim(addr)
+                array.remove(victim_addr)
+            array.insert(addr, slot)
+        assert array.resident_count() <= geometry.associativity
+
+    @given(accesses=st.lists(st.integers(0, 4), min_size=3, max_size=40))
+    def test_most_recent_access_never_evicted(self, accesses):
+        geometry = CacheGeometry(size_bytes=64, associativity=2, line_size=16)
+        array = SetAssociativeArray(geometry)
+        last = None
+        for slot in accesses:
+            addr = slot * geometry.n_sets * geometry.line_size
+            if addr in array:
+                array.lookup(addr)
+            else:
+                if array.set_is_full(addr):
+                    victim_addr, _ = array.choose_victim(addr)
+                    assert victim_addr != last  # LRU: never the MRU line
+                    array.remove(victim_addr)
+                array.insert(addr, slot)
+            last = addr

@@ -1,0 +1,21 @@
+"""Deterministic RNG streams."""
+
+from repro.common.rng import make_rng
+
+
+def test_same_seed_same_sequence():
+    a = make_rng(42, "addresses")
+    b = make_rng(42, "addresses")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_streams_are_independent():
+    a = make_rng(42, "addresses")
+    b = make_rng(42, "branches")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = make_rng(1, "s")
+    b = make_rng(2, "s")
+    assert a.random() != b.random()

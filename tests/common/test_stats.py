@@ -1,0 +1,56 @@
+"""StatsRegistry counters and ratio helpers."""
+
+from repro.common.stats import StatsRegistry
+
+
+def test_counters_default_zero():
+    stats = StatsRegistry()
+    assert stats.get("anything") == 0
+
+
+def test_add_and_get():
+    stats = StatsRegistry()
+    stats.add("loads")
+    stats.add("loads", 4)
+    assert stats.get("loads") == 5
+
+
+def test_set_overwrites():
+    stats = StatsRegistry()
+    stats.add("x", 10)
+    stats.set("x", 3)
+    assert stats.get("x") == 3
+
+
+def test_ratio():
+    stats = StatsRegistry()
+    stats.add("misses", 1)
+    stats.add("accesses", 4)
+    assert stats.ratio("misses", "accesses") == 0.25
+
+
+def test_ratio_zero_denominator():
+    assert StatsRegistry().ratio("a", "b") == 0.0
+
+
+def test_snapshot_is_a_copy():
+    stats = StatsRegistry()
+    stats.add("a")
+    snap = stats.snapshot()
+    snap["a"] = 99
+    assert stats.get("a") == 1
+
+
+def test_merge_with_prefix():
+    a, b = StatsRegistry(), StatsRegistry()
+    b.add("hits", 7)
+    a.merge(b, prefix="l1_")
+    assert a.get("l1_hits") == 7
+
+
+def test_reset():
+    stats = StatsRegistry()
+    stats.add("a")
+    stats.reset()
+    assert stats.get("a") == 0
+    assert list(stats.names()) == []

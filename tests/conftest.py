@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import CacheGeometry, SVCConfig
+from repro.svc.designs import design_config
+from repro.svc.system import SVCSystem
+
+
+def small_geometry(**overrides) -> CacheGeometry:
+    """A small cache shape that keeps tests fast but exercises sets."""
+    params = dict(size_bytes=512, associativity=2, line_size=16,
+                  versioning_block_size=4)
+    params.update(overrides)
+    return CacheGeometry(**params)
+
+
+def make_svc(design: str = "final", n_caches: int = 4, **overrides) -> SVCSystem:
+    """An SVC with invariant checking on, sized for unit tests."""
+    config = design_config(
+        design,
+        SVCConfig(
+            n_caches=n_caches,
+            geometry=small_geometry(),
+            check_invariants=True,
+        ),
+    )
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return SVCSystem(config)
+
+
+@pytest.fixture
+def svc():
+    """Final-design SVC with four running tasks 0-3 on caches 0-3."""
+    system = make_svc("final")
+    for cache_id in range(4):
+        system.begin_task(cache_id, cache_id)
+    return system

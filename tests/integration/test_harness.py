@@ -1,0 +1,64 @@
+"""Experiment harness: every registered experiment runs and reports."""
+
+import pytest
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    run_ablation_designs,
+    run_figure19,
+    run_table2,
+    run_table3,
+)
+from repro.harness.reporting import format_series, format_table
+
+TINY = 0.02  # a few dozen tasks per benchmark: smoke-scale
+
+
+def test_registry_covers_all_paper_artifacts():
+    assert {"table2", "table3", "fig19", "fig20"} <= set(EXPERIMENTS)
+    assert {"ablation_designs", "ablation_update", "ablation_linesize"} <= set(
+        EXPERIMENTS
+    )
+
+
+def test_table2_runs_and_reports():
+    result = run_table2(benchmarks=("gcc",), scale=TINY)
+    assert result.point("gcc", "arb_32k") is not None
+    assert result.point("gcc", "svc_4x8k") is not None
+    text = format_table(
+        result, ["arb_32k", "svc_4x8k"], lambda p: p.miss_ratio, "miss"
+    )
+    assert "gcc" in text and "(paper)" in text
+
+
+def test_table3_includes_both_sizes():
+    result = run_table3(benchmarks=("perl",), scale=TINY)
+    assert result.point("perl", "svc_4x8k").bus_utilization >= 0
+    assert result.point("perl", "svc_4x16k").bus_utilization >= 0
+
+
+def test_figure19_has_five_series():
+    result = run_figure19(benchmarks=("compress",), scale=TINY)
+    machines = {p.machine for p in result.points}
+    assert machines == {"svc_1c", "arb_1c", "arb_2c", "arb_3c", "arb_4c"}
+    text = format_series(
+        result, sorted(machines), lambda p: p.ipc, "IPC", highlight="svc_1c"
+    )
+    assert "compress" in text
+
+
+def test_ablation_designs_covers_progression():
+    result = run_ablation_designs(benchmarks=("gcc",), scale=TINY)
+    machines = {p.machine for p in result.points}
+    assert {"svc_base", "svc_ec", "svc_ecs", "svc_hr", "svc_final"} == machines
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_every_experiment_is_callable_at_smoke_scale(name):
+    runner = EXPERIMENTS[name]
+    result = runner(benchmarks=("gcc",) if name != "ablation_linesize" else ("ijpeg",),
+                    scale=TINY)
+    assert result.points
+    for point in result.points:
+        assert point.cycles > 0
+        assert point.instructions > 0

@@ -1,0 +1,42 @@
+"""Sparse byte-addressed main memory."""
+
+from repro.mem.main_memory import MainMemory
+
+
+def test_unwritten_reads_zero():
+    memory = MainMemory()
+    assert memory.read_byte(0x1000) == 0
+    assert memory.read_int(0x1000, 4) == 0
+
+
+def test_int_round_trip_little_endian():
+    memory = MainMemory()
+    memory.write_int(0x100, 4, 0x11223344)
+    assert memory.read_byte(0x100) == 0x44
+    assert memory.read_byte(0x103) == 0x11
+    assert memory.read_int(0x100, 4) == 0x11223344
+
+
+def test_int_truncates_to_size():
+    memory = MainMemory()
+    memory.write_int(0x100, 1, 0x1FF)
+    assert memory.read_int(0x100, 1) == 0xFF
+
+
+def test_line_round_trip():
+    memory = MainMemory()
+    memory.write_line(0x100, bytes(range(16)))
+    assert bytes(memory.read_line(0x100, 16)) == bytes(range(16))
+
+
+def test_image_only_nonzero():
+    memory = MainMemory()
+    memory.write_int(0x100, 4, 0x00FF0000)
+    image = memory.image()
+    assert image == {0x102: 0xFF}
+
+
+def test_load_image():
+    memory = MainMemory()
+    memory.load_image([(0x10, 7), (0x11, 8)])
+    assert memory.read_int(0x10, 2) == 0x0807

@@ -1,0 +1,61 @@
+"""MSHR file: allocation, combining, structural stalls."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.mem.mshr import AllocationResult, MSHRFile
+
+
+def test_primary_then_secondary():
+    mshrs = MSHRFile(n_entries=2, combining=2)
+    assert mshrs.allocate(0x100, 1, ready_cycle=10) == AllocationResult.PRIMARY
+    assert mshrs.allocate(0x100, 2, ready_cycle=99) == AllocationResult.SECONDARY
+    entry = mshrs.lookup(0x100)
+    assert entry.waiter_ids == [1, 2]
+    assert entry.ready_cycle == 10  # secondary keeps the primary's timing
+
+
+def test_combining_limit_stalls():
+    mshrs = MSHRFile(n_entries=2, combining=2)
+    mshrs.allocate(0x100, 1, 10)
+    mshrs.allocate(0x100, 2, 10)
+    assert mshrs.allocate(0x100, 3, 10) == AllocationResult.STALL
+
+
+def test_file_full_stalls():
+    mshrs = MSHRFile(n_entries=1, combining=4)
+    mshrs.allocate(0x100, 1, 10)
+    assert mshrs.is_full()
+    assert mshrs.allocate(0x200, 2, 10) == AllocationResult.STALL
+
+
+def test_pop_ready_removes_completed():
+    mshrs = MSHRFile(n_entries=4, combining=4)
+    mshrs.allocate(0x100, 1, 10)
+    mshrs.allocate(0x200, 2, 20)
+    ready = mshrs.pop_ready(now=15)
+    assert [entry.line_addr for entry in ready] == [0x100]
+    assert mshrs.in_flight() == 1
+
+
+def test_earliest_ready():
+    mshrs = MSHRFile(n_entries=4, combining=4)
+    assert mshrs.earliest_ready() is None
+    mshrs.allocate(0x100, 1, 30)
+    mshrs.allocate(0x200, 2, 20)
+    assert mshrs.earliest_ready() == 20
+
+
+def test_flush_clears_all():
+    mshrs = MSHRFile(n_entries=4, combining=4)
+    mshrs.allocate(0x100, 1, 10)
+    flushed = mshrs.flush()
+    assert len(flushed) == 1
+    assert mshrs.in_flight() == 0
+
+
+def test_invalid_configuration():
+    with pytest.raises(ConfigError):
+        MSHRFile(0, 1)
+    with pytest.raises(ConfigError):
+        MSHRFile(1, 0)

@@ -1,0 +1,45 @@
+"""Writeback buffer: FIFO drain, snooping, overwrite semantics."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.mem.writeback_buffer import WritebackBuffer
+
+
+def test_push_and_drain_fifo():
+    buffer = WritebackBuffer(4)
+    buffer.push(0x100, b"a")
+    buffer.push(0x200, b"b")
+    assert buffer.drain_one() == (0x100, b"a")
+    assert buffer.drain_one() == (0x200, b"b")
+    assert buffer.drain_one() is None
+
+
+def test_full_rejects():
+    buffer = WritebackBuffer(1)
+    assert buffer.push(0x100, b"a")
+    assert not buffer.push(0x200, b"b")
+
+
+def test_same_line_overwrites_without_new_entry():
+    buffer = WritebackBuffer(1)
+    buffer.push(0x100, b"old")
+    assert buffer.push(0x100, b"new")  # no stall: supersedes in place
+    assert buffer.snoop(0x100) == b"new"
+
+
+def test_snoop_missing():
+    assert WritebackBuffer(2).snoop(0x100) is None
+
+
+def test_drain_all():
+    buffer = WritebackBuffer(4)
+    buffer.push(0x100, b"a")
+    buffer.push(0x200, b"b")
+    assert buffer.drain_all() == [(0x100, b"a"), (0x200, b"b")]
+    assert len(buffer) == 0
+
+
+def test_zero_entries_rejected():
+    with pytest.raises(ConfigError):
+        WritebackBuffer(0)

@@ -1,0 +1,62 @@
+"""Sequential oracle and the run comparator."""
+
+from repro.hier.driver import DriverReport
+from repro.hier.task import MemOp, TaskProgram
+from repro.mem.main_memory import MainMemory
+from repro.oracle.sequential import OracleResult, SequentialOracle, verify_run
+
+
+def program():
+    return [
+        TaskProgram(ops=[MemOp.store(0x100, 1), MemOp.load(0x100)]),
+        TaskProgram(ops=[MemOp.load(0x100), MemOp.store(0x100, 2)]),
+        TaskProgram(ops=[MemOp.load(0x100)]),
+    ]
+
+
+def test_oracle_executes_in_task_order():
+    result = SequentialOracle().run(program())
+    assert result.load_values == [[1], [1], [2]]
+    assert result.memory_image == {0x100: 2}
+
+
+def test_oracle_honours_initial_image():
+    oracle = SequentialOracle(initial_image={0x200: 9})
+    result = oracle.run([TaskProgram(ops=[MemOp.load(0x200, size=1)])])
+    assert result.load_values == [[9]]
+
+
+def make_report(load_values):
+    return DriverReport(
+        load_values=load_values, steps=1, violation_squashes=0,
+        injected_squashes=0, replacement_stalls=0,
+        task_executions=[1] * len(load_values),
+    )
+
+
+def test_verify_run_accepts_matching():
+    oracle = SequentialOracle().run(program())
+    memory = MainMemory()
+    memory.write_int(0x100, 4, 2)
+    assert verify_run(make_report([[1], [1], [2]]), oracle, memory) == []
+
+
+def test_verify_run_flags_wrong_load():
+    oracle = SequentialOracle().run(program())
+    memory = MainMemory()
+    memory.write_int(0x100, 4, 2)
+    problems = verify_run(make_report([[1], [99], [2]]), oracle, memory)
+    assert any("task 1" in p for p in problems)
+
+
+def test_verify_run_flags_memory_mismatch():
+    oracle = SequentialOracle().run(program())
+    memory = MainMemory()  # missing the final store
+    problems = verify_run(make_report([[1], [1], [2]]), oracle, memory)
+    assert any("memory image" in p for p in problems)
+
+
+def test_verify_run_flags_task_count():
+    oracle = OracleResult(load_values=[[1]])
+    problems = verify_run(make_report([[1], [2]]), oracle, MainMemory())
+    assert "task count" in problems[0]

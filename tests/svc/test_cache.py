@@ -1,0 +1,165 @@
+"""SVCCache controller: probe classification and flash task operations."""
+
+import pytest
+
+from conftest import small_geometry
+from repro.common.config import SVCFeatures
+from repro.common.errors import ProtocolError
+from repro.svc.cache import ProbeOutcome, SVCCache
+from repro.svc.line import SVCLine
+
+LINE_ADDR = 0x100
+
+
+def make_cache(features=None):
+    cache = SVCCache(0, small_geometry(), features or SVCFeatures.final())
+    cache.current_task = 3
+    return cache
+
+
+def install_line(cache, **kwargs):
+    defaults = dict(data=bytearray(16), valid_mask=0b1111)
+    defaults.update(kwargs)
+    line = SVCLine(**defaults)
+    line.ensure_block_stamps(4)
+    cache.install(LINE_ADDR, line)
+    return line
+
+
+class TestProbeLoad:
+    def test_miss_when_absent(self):
+        outcome, line = make_cache().probe_load(LINE_ADDR, 0b0001)
+        assert outcome == ProbeOutcome.MISS and line is None
+
+    def test_hit_on_active_covered(self):
+        cache = make_cache()
+        install_line(cache)
+        outcome, _ = cache.probe_load(LINE_ADDR, 0b0011)
+        assert outcome == ProbeOutcome.HIT
+
+    def test_miss_on_partial_validity(self):
+        cache = make_cache()
+        install_line(cache, valid_mask=0b0001)
+        outcome, line = cache.probe_load(LINE_ADDR, 0b0010)
+        assert outcome == ProbeOutcome.MISS
+        assert line is not None  # resident line kept for the merge fill
+
+    def test_stale_passive_clean_misses(self):
+        cache = make_cache()
+        install_line(cache, committed=True, stale=True)
+        outcome, _ = cache.probe_load(LINE_ADDR, 0b0001)
+        assert outcome == ProbeOutcome.MISS
+
+    def test_fresh_passive_clean_reuses(self):
+        cache = make_cache()
+        line = install_line(cache, committed=True)
+        outcome, _ = cache.probe_load(LINE_ADDR, 0b0001)
+        assert outcome == ProbeOutcome.HIT
+        assert not line.committed          # C reset
+        assert line.architectural          # A set (section 3.5.1)
+        assert LINE_ADDR in cache.active_lines
+
+    def test_base_design_has_no_passive_reuse(self):
+        cache = make_cache(SVCFeatures.base())
+        install_line(cache, committed=True)
+        outcome, _ = cache.probe_load(LINE_ADDR, 0b0001)
+        assert outcome == ProbeOutcome.MISS
+
+
+class TestProbeStore:
+    def test_exclusive_covered_hits(self):
+        cache = make_cache()
+        install_line(cache, exclusive=True)
+        outcome, _ = cache.probe_store(LINE_ADDR, 0b0001, full_cover=0b0001)
+        assert outcome == ProbeOutcome.HIT
+
+    def test_non_exclusive_upgrades(self):
+        cache = make_cache()
+        install_line(cache, store_mask=0b0001)
+        outcome, _ = cache.probe_store(LINE_ADDR, 0b0001, full_cover=0b0001)
+        assert outcome == ProbeOutcome.UPGRADE
+
+    def test_partial_store_to_invalid_block_is_not_a_hit(self):
+        cache = make_cache()
+        install_line(cache, exclusive=True, valid_mask=0b1110)
+        outcome, _ = cache.probe_store(LINE_ADDR, 0b0001, full_cover=0)
+        assert outcome == ProbeOutcome.UPGRADE
+
+
+class TestRecording:
+    def test_record_load_sets_l_only_without_s(self):
+        cache = make_cache()
+        line = install_line(cache, store_mask=0b0001)
+        cache.record_load(line, 0b0011)
+        assert line.load_mask == 0b0010  # block 0 shielded by own store
+
+    def test_apply_store_full_block(self):
+        cache = make_cache()
+        line = install_line(cache, valid_mask=0)
+        cache.apply_store(line, LINE_ADDR + 4, 4, 0xAB, 0b0010)
+        assert line.store_mask == 0b0010
+        assert line.valid_mask == 0b0010
+        assert line.load_mask == 0
+        assert line.read(4, 4) == 0xAB
+
+    def test_apply_store_partial_block_sets_l(self):
+        cache = make_cache()
+        line = install_line(cache)
+        cache.apply_store(line, LINE_ADDR + 5, 1, 0xCD, 0b0010)
+        assert line.load_mask == 0b0010  # implicit RMW read
+
+
+class TestTaskLifecycle:
+    def test_begin_requires_idle(self):
+        cache = make_cache()
+        with pytest.raises(ProtocolError):
+            cache.begin_task(9)
+
+    def test_flash_commit_marks_all_active_lines(self):
+        cache = make_cache()
+        line = install_line(cache)
+        addrs = cache.flash_commit()
+        assert addrs == [LINE_ADDR]
+        assert line.committed
+        assert cache.current_task is None
+        assert not cache.active_lines
+
+    def test_flash_squash_drops_speculative_keeps_architectural(self):
+        cache = make_cache()
+        spec = install_line(cache)
+        arch = SVCLine(data=bytearray(16), valid_mask=0b1111, architectural=True)
+        arch.ensure_block_stamps(4)
+        cache.install(LINE_ADDR + 16, arch)
+        dropped = cache.flash_squash()
+        assert dropped == [LINE_ADDR]
+        assert cache.line_for(LINE_ADDR) is None
+        retained = cache.line_for(LINE_ADDR + 16)
+        assert retained is not None and retained.committed
+
+    def test_flash_squash_never_keeps_dirty(self):
+        cache = make_cache()
+        install_line(cache, store_mask=0b0001, architectural=True)
+        cache.flash_squash()
+        assert cache.line_for(LINE_ADDR) is None
+
+    def test_dirty_active_lines_sorted(self):
+        cache = make_cache()
+        install_line(cache, store_mask=1)
+        other = SVCLine(data=bytearray(16), valid_mask=0b1111, store_mask=1)
+        other.ensure_block_stamps(4)
+        cache.install(LINE_ADDR + 32, other)
+        dirty = cache.dirty_active_lines()
+        assert [addr for addr, _ in dirty] == [LINE_ADDR, LINE_ADDR + 32]
+
+
+class TestEvictionVeto:
+    def test_active_evictable_only_by_head(self):
+        cache = make_cache()
+        line = install_line(cache)
+        assert not cache.can_evict(LINE_ADDR, line, is_head=False)
+        assert cache.can_evict(LINE_ADDR, line, is_head=True)
+
+    def test_passive_always_evictable(self):
+        cache = make_cache()
+        line = install_line(cache, committed=True)
+        assert cache.can_evict(LINE_ADDR, line, is_head=False)

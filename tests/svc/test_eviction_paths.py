@@ -1,0 +1,106 @@
+"""Cast-out and replacement paths of the VCL."""
+
+import pytest
+
+from conftest import make_svc
+from repro.bus.requests import BusRequestKind
+from repro.common.errors import ReplacementStall
+
+
+def conflict_addrs(system, base=0x1000, count=3):
+    """Addresses mapping to the same set (one per way + extras)."""
+    stride = system.geometry.n_sets * system.geometry.line_size
+    return [base + i * stride for i in range(count)]
+
+
+@pytest.fixture
+def system():
+    s = make_svc("final")
+    for cache_id in range(4):
+        s.begin_task(cache_id, cache_id)
+    return s
+
+
+def test_clean_eviction_is_silent(system):
+    addrs = conflict_addrs(system)
+    system.memory.write_int(addrs[0], 4, 1)
+    for addr in addrs:
+        system.load(0, addr)  # head task: evictions allowed
+    assert system.stats.get("silent_evictions") >= 1
+    assert system.stats.get("bus_BusWback") == 0
+
+
+def test_committed_dirty_eviction_writes_back(system):
+    addrs = conflict_addrs(system)
+    system.store(0, addrs[0], 0xAA)
+    system.commit_head(0)
+    system.begin_task(0, 4)
+    # Fill the set with the new task's lines until the passive dirty
+    # line is the victim.
+    for addr in addrs[1:]:
+        system.store(0, addr, 1)
+    assert system.memory.read_int(addrs[0], 4) == 0xAA
+    assert system.stats.get("bus_BusWback") >= 1
+
+
+def test_head_active_dirty_eviction_preserves_order(system):
+    """Evicting the head's active line must write any older committed
+    version of that address first (purge ordering)."""
+    addr = conflict_addrs(system)[0]
+    system.store(0, addr, 1)
+    system.commit_head(0)
+    system.begin_task(0, 4)
+    system.commit_head(1)
+    system.commit_head(2)
+    system.commit_head(3)
+    # Task 4 (now head) makes a new version, then gets it evicted.
+    system.store(0, addr, 2)
+    for conflict in conflict_addrs(system)[1:]:
+        system.store(0, conflict, 9)
+    assert system.memory.read_int(addr, 4) == 2  # newest value wins
+
+
+def test_speculative_task_blocks_until_head(system):
+    """A non-head task with a full set of its own active lines stalls;
+    once it becomes the head the same access succeeds."""
+    addrs = conflict_addrs(system)
+    for addr in addrs[:-1]:
+        system.store(1, addr, 7)
+    with pytest.raises(ReplacementStall):
+        system.store(1, addrs[-1], 7)
+    system.commit_head(0)  # task 1 becomes the head
+    result = system.store(1, addrs[-1], 7)  # now legal
+    assert result is not None
+
+
+def test_stall_has_no_side_effects(system):
+    """A ReplacementStall must abort the request before any protocol
+    state changed: the line states for the stalled address stay
+    untouched and a later retry behaves as if it were the first try."""
+    addrs = conflict_addrs(system)
+    for addr in addrs[:-1]:
+        system.store(1, addr, 7)
+    before_states = system.states_of(addrs[-1])
+    before_txn = system.stats.get("bus_transactions")
+    with pytest.raises(ReplacementStall):
+        system.load(1, addrs[-1])
+    assert system.states_of(addrs[-1]) == before_states
+    assert system.stats.get("bus_transactions") == before_txn
+
+
+def test_cast_out_of_retained_written_back_line_skips_rewrite(system):
+    """A retained committed version already flushed to memory is not
+    written back a second time when finally cast out."""
+    addr = conflict_addrs(system)[0]
+    system.store(0, addr, 5)
+    system.commit_head(0)
+    system.begin_task(0, 4)
+    system.load(1, addr)   # flush + retain (written_back)
+    line = system.line_in(0, addr)
+    assert line is not None and line.written_back
+    wb_before = system.stats.get("writebacks")
+    # Force the retained line out of cache 0 with the new task's lines.
+    for conflict in conflict_addrs(system)[1:]:
+        system.store(0, conflict, 1)
+    assert system.line_in(0, addr) is None
+    assert system.stats.get("writebacks") == wb_before

@@ -1,0 +1,89 @@
+"""Paper Figures 12 and 13 (EC design): committed versions.
+
+Setup mirrors the figures: tasks 0 and 1 created versions (values 0 and
+1) and committed; their PUs now run tasks 4 and 5. Task 3 holds an
+uncommitted version (value 3).
+
+Figure 12 — a load by task 2 finds no uncommitted version before it, so
+the *most recent committed* version (1) supplies it; that version is
+written back to memory and the older committed version (0) is
+invalidated without a writeback.
+
+Figure 13 — a store by task 5 purges all committed versions the same
+way and the VOL retains only the uncommitted versions, in task order.
+"""
+
+import pytest
+
+from conftest import make_svc
+
+A = 0x100
+
+
+@pytest.fixture
+def ec():
+    """EC design in the figures' state: committed versions 0 and 1."""
+    system = make_svc("ec")
+    system.begin_task(0, 0)
+    system.begin_task(1, 1)
+    system.store(0, A, 0)
+    system.store(1, A, 1)
+    system.commit_head(0)   # task 0 commits; C set locally, no bus
+    system.commit_head(1)
+    system.begin_task(0, 4)  # the PUs are reallocated to new tasks
+    system.begin_task(1, 5)
+    system.begin_task(2, 2)
+    system.begin_task(3, 3)
+    return system
+
+
+class TestFigure12Load:
+    def test_load_supplied_by_most_recent_committed_version(self, ec):
+        ec.store(3, A, 3)  # task 3's later version must not be used
+        result = ec.load(2, A)
+        assert result.value == 1
+        assert not result.from_memory
+
+    def test_supplying_committed_version_written_back(self, ec):
+        ec.load(2, A)
+        assert ec.memory.read_int(A, 4) == 1
+
+    def test_older_committed_version_invalidated_without_writeback(self, ec):
+        ec.load(2, A)
+        assert ec.line_in(0, A) is None  # version 0 purged
+        # Version 0's value never reached memory.
+        assert ec.memory.read_int(A, 4) == 1
+
+    def test_commit_is_local_and_lazy(self):
+        """EC commits set the C bit without bus traffic (vs base)."""
+        system = make_svc("ec")
+        system.begin_task(0, 0)
+        system.store(0, A, 7)
+        before = system.stats.get("bus_transactions")
+        system.commit_head(0)
+        assert system.stats.get("bus_transactions") == before
+        line = system.line_in(0, A)
+        assert line.committed and line.dirty  # passive dirty, unflushed
+
+
+class TestFigure13Store:
+    def test_store_purges_committed_versions(self, ec):
+        ec.store(3, A, 3)
+        result = ec.store(1, A, 5)  # task 5 stores (PU of old task 1)
+        assert result.squashed_ranks == []
+        # Committed version 1 written back; version 0 never.
+        assert ec.memory.read_int(A, 4) == 1
+        assert ec.line_in(0, A) is None
+
+    def test_vol_keeps_only_uncommitted_versions_in_task_order(self, ec):
+        ec.store(3, A, 3)
+        ec.store(1, A, 5)
+        assert ec.vol_of(A) == [3, 1]  # task 3's version then task 5's
+
+    def test_loads_see_purged_data_through_memory(self, ec):
+        ec.store(1, A, 5)
+        ec.commit_head(2)  # tasks 2, 3 pass by without touching A
+        ec.commit_head(3)
+        ec.begin_task(2, 6)
+        # Task 6 is later than task 5, so it reads task 5's version.
+        assert ec.load(2, A).value == 5

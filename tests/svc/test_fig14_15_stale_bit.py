@@ -1,0 +1,78 @@
+"""Paper Figures 14 and 15 (EC design): the stale (T) bit.
+
+Two time lines from the same start (committed versions 0 and 1, with
+task 2's copy of version 1 still resident on its PU):
+
+* Time line 1 — no later store ever happens. Task 6, scheduled on the
+  PU that holds the copy, can *reuse it locally* (reset C): the copy is
+  a copy of the most recent version, T clear, no bus request.
+* Time line 2 — task 3 stored (version 3) before task 6 runs. The copy
+  in the cache is now stale (T set): reusing it would read version 1
+  instead of version 3, so the load must go to the bus.
+
+The T bit is exactly the hardware hint that distinguishes these cases
+without a bus request.
+"""
+
+import pytest
+
+from conftest import make_svc
+
+A = 0x100
+
+
+def build_history(with_task3_store: bool):
+    """Tasks 0..3 run; 0 and 1 store; task 2 loads (copy of version 1);
+    optionally task 3 stores version 3. All of 0-3 commit."""
+    system = make_svc("ec")
+    for cache_id in range(4):
+        system.begin_task(cache_id, cache_id)
+    system.store(0, A, 0)
+    system.store(1, A, 1)
+    assert system.load(2, A).value == 1   # copy of version 1 in cache 2
+    if with_task3_store:
+        system.store(3, A, 3)
+    for cache_id in range(4):
+        system.commit_head(cache_id)
+    # PUs are reallocated: tasks 4..7 on caches 0..3.
+    for cache_id, rank in [(0, 4), (1, 5), (2, 6), (3, 7)]:
+        system.begin_task(cache_id, rank)
+    return system
+
+
+def test_timeline1_fresh_copy_reused_without_bus_request():
+    system = build_history(with_task3_store=False)
+    line = system.line_in(2, A)
+    assert not line.stale  # copy of the most recent version
+    before = system.stats.get("bus_transactions")
+    result = system.load(2, A)  # task 6 reuses the copy
+    assert result.value == 1
+    assert result.hit
+    assert system.stats.get("bus_transactions") == before
+    reused = system.line_in(2, A)
+    assert not reused.committed       # C reset on reuse
+    assert reused.architectural       # remembered as architectural
+
+
+def test_timeline2_stale_copy_forces_bus_request():
+    system = build_history(with_task3_store=True)
+    line = system.line_in(2, A)
+    assert line.stale  # version 3 exists; the copy is of version 1
+    before = system.stats.get("bus_transactions")
+    result = system.load(2, A)
+    assert result.value == 3          # the correct (newest) version
+    assert system.stats.get("bus_transactions") > before
+
+
+def test_stale_bits_updated_on_creation_of_new_version():
+    """Section 3.4.3's invariant: creating the most recent version sets
+    T in the copies of previous versions, with no extra bus traffic."""
+    system = make_svc("ec")
+    for cache_id in range(4):
+        system.begin_task(cache_id, cache_id)
+    system.store(0, A, 0)
+    system.load(1, A)
+    assert not system.line_in(1, A).stale   # copy of the newest version
+    system.store(2, A, 2)
+    assert system.line_in(1, A).stale       # now a copy of an old one
+    assert not system.line_in(2, A).stale   # the new version itself

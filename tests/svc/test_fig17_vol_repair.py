@@ -1,0 +1,97 @@
+"""Paper Figure 17 (ECS design): repairing the VOL after a squash.
+
+State before the squash: a committed version 0 (cache X, whose PU now
+runs task 4), an uncommitted version 1 (cache Z, task 1), an uncommitted
+version 3 (cache Y, task 3) and task 2 on cache W about to load.
+
+Tasks 3 and 4 are squashed: version 3 is invalidated, leaving a dangling
+pointer in the VOL. Task 2's subsequent load makes the VCL repair the
+list, and the load is supplied the correct version (1).
+
+Cache mapping: X=0 (task 0 then 4), Z=1 (task 1), W=2 (task 2),
+Y=3 (task 3).
+"""
+
+import pytest
+
+from conftest import make_svc
+
+A = 0x100
+
+
+@pytest.fixture
+def ecs():
+    system = make_svc("ecs")
+    system.begin_task(0, 0)
+    system.store(0, A, 0)
+    system.commit_head(0)        # version 0 committed
+    system.begin_task(1, 1)
+    system.begin_task(2, 2)
+    system.begin_task(3, 3)
+    system.begin_task(0, 4)      # X's PU reallocated to task 4
+    system.store(1, A, 1)        # version 1 (uncommitted)
+    system.store(3, A, 3)        # version 3 (uncommitted)
+    return system
+
+
+def test_squash_invalidates_only_uncommitted_versions(ecs):
+    ecs.squash_from_rank(3)
+    assert ecs.line_in(3, A) is None      # version 3 gone
+    assert ecs.line_in(1, A).dirty        # version 1 survives
+    assert ecs.line_in(0, A).committed    # committed version 0 survives
+
+
+def test_load_after_squash_repairs_vol_and_supplies_version_1(ecs):
+    ecs.squash_from_rank(3)
+    ecs.begin_task(3, 3)  # restart the squashed task
+    result = ecs.load(2, A)
+    assert result.value == 1
+    # The repaired VOL: committed version 0, version 1, the new copy.
+    assert ecs.vol_of(A) == [0, 1, 2]
+    assert ecs.line_in(0, A).pointer == 1
+    assert ecs.line_in(1, A).pointer == 2
+    assert ecs.line_in(2, A).pointer is None
+
+
+def test_stale_bits_fixed_after_repair(ecs):
+    """Version 1 was stale while version 3 existed; after the squash and
+    the repairing bus request it is the most recent version again."""
+    assert ecs.line_in(1, A).stale        # version 3 shadows it
+    ecs.squash_from_rank(3)
+    ecs.begin_task(3, 3)
+    ecs.load(2, A)                        # repairing bus request
+    assert not ecs.line_in(1, A).stale
+
+
+def test_architectural_copies_survive_squashes(ecs):
+    """ECS's A bit: copies of architectural data are retained across a
+    squash, while speculative copies are invalidated."""
+    ecs.memory.write_int(0x200, 4, 0x55)
+    # Task 4 loads architectural data (from memory) and speculative
+    # data: task 3's uncommitted version of B. Task 3 is not the head,
+    # so its supply is speculative (could still squash).
+    B = 0x300
+    ecs.store(3, B, 33)
+    assert ecs.load(0, 0x200).value == 0x55   # task 4 on cache 0
+    assert ecs.load(0, B).value == 33
+    arch_line = ecs.line_in(0, 0x200)
+    spec_line = ecs.line_in(0, B)
+    assert arch_line.architectural
+    assert not spec_line.architectural
+    ecs.squash_from_rank(4)
+    retained = ecs.line_in(0, 0x200)
+    assert retained is not None and retained.committed  # passive clean
+    assert ecs.line_in(0, B) is None                    # dropped
+
+
+def test_base_design_drops_everything_on_squash():
+    """Contrast: the base design invalidates all lines of the squashed
+    task's cache (section 3.2.4)."""
+    system = make_svc("base")
+    system.begin_task(0, 0)
+    system.begin_task(1, 1)
+    system.memory.write_int(0x200, 4, 9)
+    system.load(1, 0x200)
+    assert system.line_in(1, 0x200) is not None
+    system.squash_from_rank(1)
+    assert system.line_in(1, 0x200) is None

@@ -1,0 +1,64 @@
+"""Paper Figure 8 (base design): a load supplied by VOL reverse search.
+
+Program (Figure 7): task 0 stores 0, task 1 stores 1, task 3 stores 3 —
+all to address A — then task 2 loads A. The VCL searches the VOL in
+reverse from the requestor's position and supplies the closest previous
+version: task 1's value, not task 3's (later) and not task 0's (older).
+
+Cache mapping: the paper's PUs X/0, Z/1, W/2, Y/3 become caches 0-3
+running tasks 0-3.
+"""
+
+import pytest
+
+from conftest import make_svc
+
+A = 0x100
+
+
+@pytest.fixture
+def base():
+    system = make_svc("base")
+    for cache_id in range(4):
+        system.begin_task(cache_id, cache_id)
+    return system
+
+
+def test_load_supplied_by_closest_previous_version(base):
+    base.store(0, A, 0)   # task 0's version
+    base.store(1, A, 1)   # task 1's version
+    base.store(3, A, 3)   # task 3's version (later than the loader)
+    result = base.load(2, A)
+    assert result.value == 1
+    assert result.cache_to_cache
+    assert not result.from_memory
+
+
+def test_vol_order_after_load(base):
+    base.store(0, A, 0)
+    base.store(1, A, 1)
+    base.store(3, A, 3)
+    base.load(2, A)
+    # VOL: versions 0, 1, the new copy, then version 3 — program order.
+    assert base.vol_of(A) == [0, 1, 2, 3]
+    # Pointers mirror the list (Figure 8's hollow arrows).
+    assert base.line_in(0, A).pointer == 1
+    assert base.line_in(1, A).pointer == 2
+    assert base.line_in(2, A).pointer == 3
+    assert base.line_in(3, A).pointer is None
+
+
+def test_loader_records_use_before_definition(base):
+    base.store(1, A, 1)
+    base.load(2, A)
+    line = base.line_in(2, A)
+    assert line.load_mask != 0
+    assert line.store_mask == 0
+
+
+def test_no_version_before_requestor_reads_memory(base):
+    base.memory.write_int(A, 4, 0x77)
+    base.store(3, A, 3)  # only a later version exists
+    result = base.load(2, A)
+    assert result.value == 0x77
+    assert result.from_memory

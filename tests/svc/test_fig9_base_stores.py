@@ -1,0 +1,74 @@
+"""Paper Figure 9 (base design): stores, invalidation window, squash.
+
+Two snapshots:
+
+1. Task 3 stores — it is the most recent task, so the store invalidates
+   nothing (unlike an SMP store, other versions survive).
+2. Task 1 stores *after* task 2 already loaded the line. Task 2's L bit
+   marks a use-before-definition: the VCL's invalidation response finds
+   it and tasks 2 and 3 are squashed (squash-to-tail).
+"""
+
+import pytest
+
+from conftest import make_svc
+
+A = 0x100
+
+
+@pytest.fixture
+def base():
+    system = make_svc("base")
+    for cache_id in range(4):
+        system.begin_task(cache_id, cache_id)
+    return system
+
+
+def test_store_by_most_recent_task_invalidates_nothing(base):
+    base.store(0, A, 0)
+    result = base.store(3, A, 3)
+    assert result.squashed_ranks == []
+    # Both versions coexist: the MRMW property.
+    assert base.line_in(0, A).dirty
+    assert base.line_in(3, A).dirty
+
+
+def test_late_store_squashes_exposed_load(base):
+    base.store(0, A, 0)
+    base.load(2, A)          # task 2 reads version 0 — speculatively OK
+    base.store(3, A, 3)      # task 3 creates its own version
+    result = base.store(1, A, 1)  # task 1's store arrives late
+    assert result.squashed_ranks == [2, 3]
+    # Squashed caches lost their lines (base design invalidates all).
+    assert base.line_in(2, A) is None
+    assert base.line_in(3, A) is None
+
+
+def test_reexecuted_load_sees_corrected_version(base):
+    base.store(0, A, 0)
+    base.load(2, A)
+    base.store(1, A, 1)
+    # Restart the squashed tasks, as the sequencer would.
+    base.begin_task(2, 2)
+    base.begin_task(3, 3)
+    assert base.load(2, A).value == 1
+
+
+def test_store_not_communicated_past_next_version(base):
+    """Footnote 2: the store window ends at the next version. Task 3
+    stored before (def-before-use), so task 1's store must not squash
+    it, and task 3 keeps its own version's value."""
+    base.store(3, A, 3)
+    base.store(0, A, 0)
+    result = base.store(1, A, 1)
+    assert result.squashed_ranks == []
+    assert base.load(3, A).value == 3
+
+
+def test_store_after_own_load_sets_no_new_exposure(base):
+    """A task that stores then loads reads its own version: no L bit
+    exposure, so an earlier task's store does not squash it."""
+    base.store(2, A, 2)
+    assert base.load(2, A).value == 2
+    result = base.store(1, A, 1)
+    assert result.squashed_ranks == []

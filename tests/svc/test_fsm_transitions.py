@@ -1,0 +1,166 @@
+"""The five-state FSM of the final design (paper Figure 18).
+
+Each test drives one line through the transitions of the PU-request and
+bus-request state machines and checks the resulting state name.
+"""
+
+import pytest
+
+from conftest import make_svc
+from repro.svc.line import LineState
+
+A = 0x100
+B = 0x200
+
+
+@pytest.fixture
+def system():
+    s = make_svc("final")
+    for cache_id in range(4):
+        s.begin_task(cache_id, cache_id)
+    return s
+
+
+def state(system, cache_id, addr=A):
+    return system.states_of(addr)[cache_id]
+
+
+class TestPURequestTransitions:
+    def test_invalid_load_busread_active_clean(self, system):
+        assert state(system, 0) == LineState.INVALID
+        system.load(0, A)
+        assert state(system, 0) == LineState.ACTIVE_CLEAN
+
+    def test_invalid_store_buswrite_active_dirty(self, system):
+        system.store(0, A, 1)
+        assert state(system, 0) == LineState.ACTIVE_DIRTY
+
+    def test_active_clean_store_buswrite_active_dirty(self, system):
+        system.load(0, A)
+        system.store(0, A, 1)
+        assert state(system, 0) == LineState.ACTIVE_DIRTY
+
+    def test_active_dirty_load_hits_locally(self, system):
+        system.store(0, A, 1)
+        before = system.stats.get("bus_transactions")
+        assert system.load(0, A).value == 1
+        assert system.stats.get("bus_transactions") == before
+
+    def test_commit_active_dirty_to_passive_dirty(self, system):
+        system.store(0, A, 1)
+        system.commit_head(0)
+        assert state(system, 0) == LineState.PASSIVE_DIRTY
+
+    def test_commit_active_clean_to_passive_clean(self, system):
+        system.load(0, A)
+        system.commit_head(0)
+        assert state(system, 0) == LineState.PASSIVE_CLEAN
+
+    def test_passive_clean_load_not_stale_hits(self, system):
+        system.load(0, A)
+        system.commit_head(0)
+        system.begin_task(0, 4)
+        before = system.stats.get("bus_transactions")
+        system.load(0, A)
+        assert system.stats.get("bus_transactions") == before
+        assert state(system, 0) == LineState.ACTIVE_CLEAN
+
+    def test_passive_clean_load_stale_takes_bus(self, system):
+        system.load(0, A)
+        system.commit_head(0)
+        system.store(1, A, 7)  # makes the copy stale
+        system.begin_task(0, 4)
+        before = system.stats.get("bus_transactions")
+        assert system.load(0, A).value == 7
+        assert system.stats.get("bus_transactions") > before
+
+    def test_passive_store_goes_to_bus_or_reactivates(self, system):
+        system.store(0, A, 1)
+        system.commit_head(0)
+        system.begin_task(0, 4)
+        system.store(0, A, 2)
+        assert state(system, 0) == LineState.ACTIVE_DIRTY
+        # Either path must have preserved the committed value for the
+        # architectural image first.
+        system.commit_head(1)
+        system.commit_head(2)
+        system.commit_head(3)
+        system.commit_head(0)
+        system.drain()
+        assert system.memory.read_int(A, 4) == 2
+
+    def test_squash_active_dirty_to_invalid(self, system):
+        system.store(1, A, 1)
+        system.squash_from_rank(1)
+        assert state(system, 1) == LineState.INVALID
+
+    def test_squash_architectural_clean_to_passive_clean(self, system):
+        system.memory.write_int(A, 4, 9)
+        system.load(1, A)
+        system.squash_from_rank(1)
+        assert state(system, 1) == LineState.PASSIVE_CLEAN
+
+    def test_squash_speculative_clean_to_invalid(self, system):
+        system.store(0, A, 1)   # uncommitted version by the head
+        system.commit_head(0)   # ... committed now; head moves to task 1
+        system.begin_task(0, 4)
+        system.store(1, A, 2)   # task 1 (head) is architectural...
+        system.load(2, A)       # task 2 copies task 1's version
+        system.store(2, B, 1)   # make B dirty so cache 2 isn't empty
+        system.load(3, A)       # task 3 copies (task 1 is not head? it is)
+        # A speculative copy: task 3 reading task 2's B version.
+        system.store(2, B, 5)
+        system.load(3, B)
+        line = system.line_in(3, B)
+        assert not line.architectural
+        system.squash_from_rank(3)
+        assert system.line_in(3, B) is None
+
+
+class TestBusRequestTransitions:
+    def test_busread_flush_from_active_dirty_stays_dirty(self, system):
+        system.store(0, A, 1)
+        system.load(1, A)
+        assert state(system, 0) == LineState.ACTIVE_DIRTY  # remains dirty
+
+    def test_buswrite_invalidate_on_active_clean_copy(self, system):
+        system.store(0, A, 1)
+        system.load(2, A)  # copy in cache 2, L set
+        result = system.store(1, A, 2)  # invalidation window hits cache 2
+        assert result.squashed_ranks == [2, 3][: len(result.squashed_ranks)]
+
+    def test_passive_dirty_flushes_on_busread(self, system):
+        system.store(0, A, 1)
+        system.commit_head(0)
+        system.begin_task(0, 4)
+        system.load(1, A)  # supplied by the passive dirty version
+        assert system.memory.read_int(A, 4) == 1  # written back
+
+
+class TestReplacementRules:
+    def test_non_head_task_cannot_evict_active_lines(self):
+        """Section 3.2.5: active lines may be replaced only by the head;
+        a speculative task with a full set of active lines stalls."""
+        from repro.common.errors import ReplacementStall
+
+        system = make_svc("final")
+        system.begin_task(0, 0)
+        system.begin_task(1, 1)
+        geometry = system.geometry
+        stride = geometry.n_sets * geometry.line_size
+        addrs = [0x1000 + way * stride for way in range(geometry.associativity + 1)]
+        for addr in addrs[:-1]:
+            system.store(1, addr, 1)  # fill every way with active lines
+        with pytest.raises(ReplacementStall):
+            system.store(1, addrs[-1], 1)
+
+    def test_head_task_may_evict_active_lines(self):
+        system = make_svc("final")
+        system.begin_task(0, 0)
+        geometry = system.geometry
+        stride = geometry.n_sets * geometry.line_size
+        addrs = [0x1000 + way * stride for way in range(geometry.associativity + 1)]
+        for addr in addrs:
+            system.store(0, addr, 1)  # head evicts its own active line
+        # The evicted line's data reached memory (head data is safe).
+        assert system.memory.read_int(addrs[0], 4) == 1

@@ -1,0 +1,72 @@
+"""SVCLine: state naming, data access, describe rendering."""
+
+from repro.svc.line import LineState, SVCLine
+
+
+def make_line(**kwargs):
+    defaults = dict(data=bytearray(16), valid_mask=0b1111)
+    defaults.update(kwargs)
+    line = SVCLine(**defaults)
+    line.ensure_block_stamps(4)
+    return line
+
+
+class TestStateNames:
+    def test_active_clean(self):
+        assert make_line().state == LineState.ACTIVE_CLEAN
+
+    def test_active_dirty(self):
+        assert make_line(store_mask=0b0001).state == LineState.ACTIVE_DIRTY
+
+    def test_passive_clean(self):
+        assert make_line(committed=True).state == LineState.PASSIVE_CLEAN
+
+    def test_passive_dirty(self):
+        line = make_line(committed=True, store_mask=0b0100)
+        assert line.state == LineState.PASSIVE_DIRTY
+
+
+class TestDataAccess:
+    def test_read_write_round_trip(self):
+        line = make_line()
+        line.write(4, 4, 0xDEADBEEF)
+        assert line.read(4, 4) == 0xDEADBEEF
+
+    def test_write_truncates(self):
+        line = make_line()
+        line.write(0, 1, 0x1FF)
+        assert line.read(0, 1) == 0xFF
+
+    def test_covers(self):
+        line = make_line(valid_mask=0b0011)
+        assert line.covers(0b0001)
+        assert line.covers(0b0011)
+        assert not line.covers(0b0100)
+        assert not line.covers(0b0111)
+
+
+class TestBookkeeping:
+    def test_dirty_property(self):
+        assert not make_line().dirty
+        assert make_line(store_mask=0b1000).dirty
+
+    def test_ensure_block_stamps_idempotent(self):
+        line = make_line()
+        line.block_content[2] = 9
+        line.ensure_block_stamps(4)
+        assert line.block_content[2] == 9
+        line.ensure_block_stamps(8)
+        assert line.block_content == [0] * 8
+
+    def test_describe_shows_flags_and_pointer(self):
+        line = make_line(
+            store_mask=1, load_mask=1, committed=True, stale=True,
+            architectural=True, exclusive=True, pointer=2,
+        )
+        text = line.describe()
+        for flag in "SLCTAX":
+            assert flag in text
+        assert "ptr=2" in text
+
+    def test_describe_empty_flags(self):
+        assert make_line().describe().startswith("-")

@@ -1,0 +1,71 @@
+"""HR design (section 3.6): snarfing against reference spreading."""
+
+import pytest
+
+from conftest import make_svc
+
+A = 0x100
+
+
+def begin_all(system):
+    for cache_id in range(4):
+        system.begin_task(cache_id, cache_id)
+    return system
+
+
+def test_snarf_spreads_architectural_fills():
+    system = begin_all(make_svc("hr"))
+    system.memory.write_int(A, 4, 0x42)
+    system.load(1, A)
+    assert system.stats.get("snarfs") > 0
+    # A snarfing cache can later hit locally.
+    snarfed = [c for c in range(4) if c != 1 and system.line_in(c, A)]
+    assert snarfed
+    before = system.stats.get("bus_transactions")
+    assert system.load(snarfed[0], A).value == 0x42
+    assert system.stats.get("bus_transactions") == before
+
+
+def test_ecs_design_does_not_snarf():
+    system = begin_all(make_svc("ecs"))
+    system.memory.write_int(A, 4, 0x42)
+    system.load(1, A)
+    assert system.stats.get("snarfs") == 0
+    assert system.line_in(3, A) is None
+
+
+def test_snarf_skips_caches_whose_view_differs():
+    """A cache may only snarf the version its own task could use
+    (section 3.6): with a version between the requestor and a
+    candidate, the candidate's view differs and it must not snarf."""
+    system = begin_all(make_svc("hr"))
+    system.store(1, A, 11)  # version between task 0 and tasks 2,3
+    system.load(0, A)       # task 0's fill: pre-version (memory) data
+    line3 = system.line_in(3, A)
+    # Task 3's correct view is version 11, not task 0's memory view.
+    if line3 is not None:
+        assert line3.read(0, 4) == 11
+
+
+def test_snarf_skips_migratory_version_data():
+    """Spreading copies of an uncommitted version would revoke the
+    writer's exclusivity; the HR heuristic leaves migratory lines
+    alone."""
+    system = begin_all(make_svc("hr"))
+    system.store(0, A, 7)     # uncommitted version
+    system.load(1, A)         # supplied by the version
+    assert system.line_in(2, A) is None
+    assert system.line_in(3, A) is None
+
+
+def test_snarf_requires_free_way():
+    system = begin_all(make_svc("hr"))
+    geometry = system.geometry
+    stride = geometry.n_sets * geometry.line_size
+    conflict = [A + (way + 1) * stride for way in range(geometry.associativity)]
+    # Fill cache 3's ways in A's set with its own active lines.
+    for addr in conflict:
+        system.store(3, addr, 1)
+    system.memory.write_int(A, 4, 5)
+    system.load(1, A)
+    assert system.line_in(3, A) is None  # no free way: no snarf

@@ -1,0 +1,123 @@
+"""SVCSystem: task lifecycle rules, draining, stats, inspection."""
+
+import pytest
+
+from conftest import make_svc
+from repro.common.errors import ProtocolError
+
+A = 0x100
+
+
+class TestTaskRules:
+    def test_commit_must_be_head(self, svc):
+        with pytest.raises(ProtocolError):
+            svc.commit_head(2)  # task 2 is not the head
+
+    def test_commit_without_task(self, svc):
+        svc.commit_head(0)
+        with pytest.raises(ProtocolError):
+            svc.commit_head(0)
+
+    def test_rank_must_be_fresh(self, svc):
+        svc.commit_head(0)
+        with pytest.raises(ProtocolError):
+            svc.begin_task(0, 0)  # already committed
+        with pytest.raises(ProtocolError):
+            svc.begin_task(0, 2)  # already running
+
+    def test_head_tracks_oldest_assigned(self, svc):
+        assert svc.head_rank() == 0
+        svc.commit_head(0)
+        assert svc.head_rank() == 1
+        svc.begin_task(0, 9)
+        assert svc.head_rank() == 1
+
+    def test_access_requires_task(self):
+        system = make_svc("final")
+        with pytest.raises(ProtocolError):
+            system.load(0, A)
+        with pytest.raises(ProtocolError):
+            system.store(0, A, 1)
+
+    def test_squash_returns_suffix(self, svc):
+        assert svc.squash_from_rank(2) == [2, 3]
+        assert svc.current_ranks() == {0: 0, 1: 1}
+
+
+class TestSequentialSemantics:
+    def test_forwarding_chain_through_tasks(self, svc):
+        svc.store(0, A, 10)
+        assert svc.load(1, A).value == 10
+        svc.store(1, A, 11)
+        assert svc.load(2, A).value == 11
+        svc.store(2, A, 12)
+        assert svc.load(3, A).value == 12
+
+    def test_earlier_task_never_sees_later_version(self, svc):
+        svc.store(3, A, 33)
+        assert svc.load(0, A).value == 0
+        assert svc.load(1, A).value == 0
+
+    def test_drain_writes_committed_image(self, svc):
+        svc.store(0, A, 1)
+        svc.store(2, A, 2)
+        for cache_id in range(4):
+            svc.commit_head(cache_id)
+        svc.drain()
+        assert svc.memory.read_int(A, 4) == 2
+        assert all(
+            cache.array.resident_count() == 0 for cache in svc.caches
+        )
+
+    def test_drain_refuses_speculative_state(self, svc):
+        svc.store(1, A, 5)
+        svc.commit_head(0)
+        with pytest.raises(ProtocolError):
+            svc.drain()
+
+
+class TestAccounting:
+    def test_miss_ratio_counts_memory_supplies_only(self, svc):
+        svc.store(0, A, 1)        # fill from memory
+        svc.load(1, A)            # cache-to-cache: not a miss
+        ratio = svc.miss_ratio()
+        assert 0 < ratio < 1
+        assert svc.stats.get("memory_supplies") >= 1
+
+    def test_describe_line_smoke(self, svc):
+        svc.store(0, A, 1)
+        text = svc.describe_line(A)
+        assert "[0/0:" in text
+        assert "empty" in text
+
+    def test_event_log_records_lifecycle(self):
+        from repro.common.events import EventLog
+        from conftest import small_geometry
+        from repro.common.config import SVCConfig
+        from repro.svc.designs import final_design
+        from repro.svc.system import SVCSystem
+
+        log = EventLog()
+        system = SVCSystem(
+            final_design(SVCConfig(geometry=small_geometry())), event_log=log
+        )
+        system.begin_task(0, 0)
+        system.begin_task(1, 1)
+        system.store(1, A, 1)
+        system.squash_from_rank(1)
+        system.commit_head(0)
+        kinds = {event.kind for event in log}
+        assert {"begin_task", "bus", "squash", "commit"} <= kinds
+
+
+class TestBaseDesignCommit:
+    def test_base_commit_writes_back_over_the_bus(self):
+        system = make_svc("base")
+        system.begin_task(0, 0)
+        system.store(0, A, 7)
+        before = system.stats.get("bus_transactions")
+        system.commit_head(0)
+        assert system.stats.get("bus_transactions") > before
+        assert system.memory.read_int(A, 4) == 7
+        # Base design: the whole cache is invalidated after commit.
+        assert system.caches[0].array.resident_count() == 0

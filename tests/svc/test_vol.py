@@ -1,0 +1,155 @@
+"""Version Ordering List: construction, search, repair primitives."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.svc.line import SVCLine
+from repro.svc.vol import (
+    build_vol,
+    check_invariants,
+    clean_supplier,
+    closest_previous_writer,
+    is_fresh,
+    last_version_index,
+    refresh_stale_bits,
+    rewrite_pointers,
+    tail_stamps,
+)
+
+
+def line(store=0, valid=0b1111, committed=False, seq=0, stamps=None):
+    result = SVCLine(
+        data=bytearray(16),
+        valid_mask=valid,
+        store_mask=store,
+        committed=committed,
+        version_seq=seq,
+    )
+    result.block_content = list(stamps) if stamps else [0, 0, 0, 0]
+    return result
+
+
+class TestBuildVOL:
+    def test_committed_versions_by_stamp_then_actives_by_rank(self):
+        entries = {
+            0: line(store=1, committed=True, seq=2),
+            1: line(store=1, committed=True, seq=1),
+            2: line(store=1),
+            3: line(),
+        }
+        ranks = {2: 7, 3: 5}
+        assert build_vol(entries, ranks) == [1, 0, 3, 2]
+
+    def test_committed_copies_after_committed_versions(self):
+        entries = {
+            0: line(committed=True, seq=3),            # copy
+            1: line(store=1, committed=True, seq=5),   # version
+        }
+        assert build_vol(entries, {}) == [1, 0]
+
+    def test_active_without_task_is_error(self):
+        with pytest.raises(ProtocolError):
+            build_vol({0: line()}, {})
+
+
+class TestPointers:
+    def test_rewrite_chains_in_order(self):
+        entries = {0: line(store=1), 1: line(), 2: line()}
+        ranks = {0: 1, 1: 2, 2: 3}
+        vol = build_vol(entries, ranks)
+        rewrite_pointers(entries, vol)
+        assert entries[0].pointer == 1
+        assert entries[1].pointer == 2
+        assert entries[2].pointer is None
+
+
+class TestSearch:
+    def test_last_version_index(self):
+        entries = {0: line(store=1), 1: line(), 2: line(store=1), 3: line()}
+        ranks = {0: 0, 1: 1, 2: 2, 3: 3}
+        vol = build_vol(entries, ranks)
+        assert last_version_index(entries, vol) == 2
+
+    def test_last_version_none_for_copies_only(self):
+        entries = {0: line(), 1: line()}
+        vol = build_vol(entries, {0: 0, 1: 1})
+        assert last_version_index(entries, vol) is None
+
+    def test_closest_previous_writer_respects_blocks(self):
+        entries = {
+            0: line(store=0b0001),
+            1: line(store=0b0010),
+            2: line(),
+        }
+        ranks = {0: 0, 1: 1, 2: 2}
+        vol = build_vol(entries, ranks)
+        assert closest_previous_writer(entries, vol, 2, 0) == 0
+        assert closest_previous_writer(entries, vol, 2, 1) == 1
+        assert closest_previous_writer(entries, vol, 2, 2) is None
+
+    def test_invalid_block_cannot_supply(self):
+        entries = {0: line(store=0b0001, valid=0b1110)}
+        vol = build_vol(entries, {0: 0})
+        assert closest_previous_writer(entries, vol, 1, 0) is None
+
+    def test_clean_supplier_requires_memory_stamp_match(self):
+        entries = {0: line(stamps=[5, 0, 0, 0])}
+        assert clean_supplier(entries, 0, [5, 0, 0, 0]) == 0
+        assert clean_supplier(entries, 0, [6, 0, 0, 0]) is None
+
+
+class TestStaleBits:
+    def test_tail_stamps_prefer_versions_over_memory(self):
+        entries = {0: line(store=0b0001, stamps=[9, 0, 0, 0])}
+        vol = build_vol(entries, {0: 0})
+        assert tail_stamps(entries, vol, [1, 2, 3, 4]) == [9, 2, 3, 4]
+
+    def test_is_fresh_checks_only_valid_blocks(self):
+        stale_block = line(valid=0b0001, stamps=[7, 99, 99, 99])
+        assert is_fresh(stale_block, [7, 0, 0, 0])
+        assert not is_fresh(stale_block, [8, 0, 0, 0])
+
+    def test_refresh_marks_copies_of_old_states(self):
+        old_copy = line(stamps=[1, 1, 1, 1])
+        version = line(store=0b1111, stamps=[2, 2, 2, 2])
+        entries = {0: old_copy, 1: version}
+        vol = build_vol(entries, {0: 0, 1: 1})
+        refresh_stale_bits(entries, vol, [0, 0, 0, 0])
+        assert old_copy.stale
+        assert not version.stale
+
+    def test_refresh_clears_when_no_version(self):
+        copy = line(stamps=[3, 3, 3, 3])
+        entries = {0: copy}
+        vol = build_vol(entries, {0: 0})
+        refresh_stale_bits(entries, vol, [3, 3, 3, 3])
+        assert not copy.stale
+
+
+class TestInvariants:
+    def test_accepts_consistent_state(self):
+        entries = {0: line(store=1, committed=True, seq=1), 1: line()}
+        ranks = {1: 4}
+        vol = build_vol(entries, ranks)
+        rewrite_pointers(entries, vol)
+        refresh_stale_bits(entries, vol, [0, 0, 0, 0])
+        check_invariants(entries, vol, ranks, [0, 0, 0, 0])
+
+    def test_rejects_bad_pointer(self):
+        entries = {0: line(store=1, committed=True, seq=1), 1: line()}
+        ranks = {1: 4}
+        vol = build_vol(entries, ranks)
+        rewrite_pointers(entries, vol)
+        refresh_stale_bits(entries, vol, [0, 0, 0, 0])
+        entries[0].pointer = None  # break the chain
+        with pytest.raises(ProtocolError):
+            check_invariants(entries, vol, ranks, [0, 0, 0, 0])
+
+    def test_rejects_wrong_stale_bit(self):
+        entries = {0: line(store=1, stamps=[1, 0, 0, 0])}
+        ranks = {0: 0}
+        vol = build_vol(entries, ranks)
+        rewrite_pointers(entries, vol)
+        entries[0].stale = True  # a lone version is never stale
+        with pytest.raises(ProtocolError):
+            check_invariants(entries, vol, ranks, [0, 0, 0, 0])

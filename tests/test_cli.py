@@ -1,0 +1,45 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_prints_registry(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table2", "table3", "fig19", "fig20"):
+        assert name in out
+
+
+def test_unknown_experiment_errors(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_unknown_benchmark_errors(capsys):
+    assert main(["table2", "--benchmarks", "linpack"]) == 2
+    assert "unknown benchmarks" in capsys.readouterr().err
+
+
+def test_runs_table2_at_smoke_scale(capsys, tmp_path):
+    output = tmp_path / "t2.txt"
+    code = main([
+        "table2", "--benchmarks", "gcc", "--scale", "0.02",
+        "--output", str(output),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "gcc" in out and "(paper)" in out
+    assert "gcc" in output.read_text()
+
+
+def test_runs_figure_series(capsys):
+    assert main(["fig19", "--benchmarks", "perl", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "svc_1c" in out and "arb_4c" in out
+
+
+def test_parser_help_mentions_experiments():
+    parser = build_parser()
+    assert "table2" in parser.format_help()

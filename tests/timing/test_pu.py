@@ -1,0 +1,86 @@
+"""PU pipeline timing: dual-issue slots, dependences, the LSQ."""
+
+from repro.common.config import ProcessorConfig
+from repro.hier.task import MemOp, TaskProgram
+from repro.timing.pu import PUTaskTiming
+
+
+def make_timing(ops, start=0, issue_width=2):
+    return PUTaskTiming(
+        pu_id=0,
+        rank=0,
+        program=TaskProgram(ops=ops),
+        start_time=start,
+        config=ProcessorConfig(issue_width=issue_width),
+    )
+
+
+def test_independent_ops_dual_issue():
+    timing = make_timing([MemOp.compute() for _ in range(4)])
+    assert timing.schedule_to_next_mem() is None
+    # 4 independent 1-cycle ops, 2 per cycle: done by cycle 2.
+    assert timing.done_time() == 2
+
+
+def test_dependence_chain_serializes():
+    ops = [MemOp.compute()]
+    for i in range(3):
+        ops.append(MemOp.compute(depends_on=(i,)))
+    timing = make_timing(ops)
+    timing.schedule_to_next_mem()
+    assert timing.done_time() == 4  # pure chain of 1-cycle ops
+
+
+def test_latency_respected():
+    ops = [MemOp.compute(latency=4), MemOp.compute(latency=1, depends_on=(0,))]
+    timing = make_timing(ops)
+    timing.schedule_to_next_mem()
+    assert timing.done_time() == 5
+
+
+def test_memory_op_pauses_scheduling():
+    ops = [MemOp.compute(), MemOp.load(0x100), MemOp.compute(depends_on=(1,))]
+    timing = make_timing(ops)
+    pending = timing.schedule_to_next_mem()
+    assert pending is not None
+    issue, op = pending
+    assert op.kind == "load"
+    # agen adds a cycle after the issue slot.
+    assert issue >= 1
+    timing.complete_mem(issue, issue + 5)
+    assert timing.schedule_to_next_mem() is None
+    assert timing.done_time() == issue + 6  # dependent op after the load
+
+
+def test_memory_ops_issue_in_program_order():
+    ops = [MemOp.load(0x100), MemOp.load(0x200)]
+    timing = make_timing(ops)
+    issue1, _ = timing.schedule_to_next_mem()
+    timing.complete_mem(issue1, issue1 + 1)
+    issue2, _ = timing.schedule_to_next_mem()
+    assert issue2 > issue1
+
+
+def test_defer_moves_issue_forward():
+    timing = make_timing([MemOp.load(0x100)])
+    issue, _ = timing.schedule_to_next_mem()
+    timing.defer_mem(issue + 10)
+    issue2, _ = timing.schedule_to_next_mem()
+    assert issue2 >= issue + 10
+
+
+def test_reset_restarts_schedule():
+    timing = make_timing([MemOp.load(0x100), MemOp.compute()])
+    old_epoch = timing.epoch
+    timing.schedule_to_next_mem()
+    timing.reset(new_start=50)
+    assert timing.epoch == old_epoch + 1
+    assert timing.op_index == 0
+    issue, _ = timing.schedule_to_next_mem()
+    assert issue >= 50
+
+
+def test_empty_task_done_at_start():
+    timing = make_timing([], start=7)
+    assert timing.schedule_to_next_mem() is None
+    assert timing.done_time() == 7

@@ -1,0 +1,75 @@
+"""Timing simulator: structural stall and recovery paths."""
+
+import dataclasses
+
+from conftest import make_svc, small_geometry
+from repro.common.config import SVCConfig
+from repro.hier.task import MemOp, TaskProgram
+from repro.svc.designs import final_design
+from repro.svc.system import SVCSystem
+from repro.timing.simulator import TimingSimulator
+
+
+def test_replacement_stalls_retry_and_finish():
+    """Tasks whose working set exceeds their set's ways must stall and
+    retry (non-head), yet the run completes with correct totals."""
+    config = final_design(SVCConfig(
+        geometry=small_geometry(size_bytes=64, associativity=2),
+        check_invariants=True,
+    ))
+    system = SVCSystem(config)
+    stride = system.geometry.n_sets * system.geometry.line_size
+    tasks = []
+    for i in range(6):
+        ops = [MemOp.store(0x1000 + w * stride, i) for w in range(3)]
+        tasks.append(TaskProgram(ops=ops))
+    report = TimingSimulator(system, tasks).run()
+    assert report.replacement_stall_retries > 0
+    assert report.committed_instructions == sum(len(t.ops) for t in tasks)
+
+
+def test_mshr_pressure_defers_but_completes():
+    """More outstanding misses than MSHRs: issue must defer, not drop."""
+    config = dataclasses.replace(
+        final_design(SVCConfig(geometry=small_geometry())),
+        n_mshrs=1,
+        mshr_combining=1,
+    )
+    system = SVCSystem(config)
+    tasks = []
+    for i in range(4):
+        # Many distinct-line loads in a row: misses pile onto 1 MSHR.
+        ops = [MemOp.load(0x4000 + 16 * (8 * i + j)) for j in range(8)]
+        tasks.append(TaskProgram(ops=ops))
+    report = TimingSimulator(system, tasks).run()
+    assert report.committed_instructions == sum(len(t.ops) for t in tasks)
+
+
+def test_squash_restart_penalty_extends_cycles():
+    fast = [
+        TaskProgram(ops=[MemOp.store(0x100, 1)]),
+        TaskProgram(ops=[MemOp.load(0x100)]),
+    ]
+    # The same program where the consumer is forced to run early:
+    slow_producer = [
+        TaskProgram(ops=[MemOp.compute(latency=8)] * 6 + [MemOp.store(0x100, 1)]),
+        TaskProgram(ops=[MemOp.load(0x100)]),
+    ]
+    clean = TimingSimulator(make_svc("final"), fast).run()
+    squashy = TimingSimulator(make_svc("final"), slow_producer).run()
+    assert squashy.violation_squashes >= 1
+    assert squashy.cycles > clean.cycles
+
+
+def test_stale_events_from_squashed_attempts_ignored():
+    """A squashed attempt's scheduled events must not corrupt the
+    restarted attempt (epoch filtering)."""
+    tasks = [
+        TaskProgram(ops=[MemOp.compute(latency=6)] * 4 + [MemOp.store(0x100, 7)]),
+        TaskProgram(ops=[MemOp.load(0x100), MemOp.load(0x100),
+                         MemOp.load(0x100)]),
+        TaskProgram(ops=[MemOp.load(0x100)]),
+    ]
+    report = TimingSimulator(make_svc("final"), tasks).run()
+    assert report.committed_instructions == sum(len(t.ops) for t in tasks)
+    assert report.violation_squashes >= 1

@@ -1,0 +1,25 @@
+"""Wasted-speculation accounting in the timing report."""
+
+from conftest import make_svc
+from repro.hier.task import MemOp, TaskProgram
+from repro.timing.simulator import TimingSimulator
+
+
+def test_no_squashes_means_no_waste():
+    tasks = [TaskProgram(ops=[MemOp.store(0x100 + 16 * i, i)]) for i in range(6)]
+    report = TimingSimulator(make_svc("final"), tasks).run()
+    assert report.violation_squashes == 0
+    assert report.wasted_memory_ops == 0
+    assert report.executed_memory_ops == report.committed_memory_ops
+
+
+def test_squashed_attempts_count_as_waste():
+    slow_store = TaskProgram(
+        ops=[MemOp.compute(latency=6)] * 8 + [MemOp.store(0x100, 7)]
+    )
+    eager_load = TaskProgram(ops=[MemOp.load(0x100)])
+    report = TimingSimulator(make_svc("final"), [slow_store, eager_load]).run()
+    assert report.violation_squashes >= 1
+    # The eager load executed at least twice but committed once.
+    assert report.wasted_memory_ops >= 1
+    assert report.executed_memory_ops > report.committed_memory_ops

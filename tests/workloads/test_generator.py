@@ -1,0 +1,90 @@
+"""Synthetic workload generator: determinism and structural properties."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.hier.task import OpKind
+from repro.workloads.generator import WorkloadSpec, _AddressStreams, generate_tasks
+
+
+def spec(**overrides):
+    params = dict(name="test", n_tasks=50, ops_per_task_mean=20, seed=7)
+    params.update(overrides)
+    return WorkloadSpec(**params)
+
+
+def test_deterministic_generation():
+    a = generate_tasks(spec())
+    b = generate_tasks(spec())
+    assert len(a) == len(b)
+    for task_a, task_b in zip(a, b):
+        assert task_a.ops == task_b.ops
+        assert task_a.mispredicted == task_b.mispredicted
+
+
+def test_seed_changes_stream():
+    a = generate_tasks(spec())
+    b = generate_tasks(spec(), seed=99)
+    assert any(x.ops != y.ops for x, y in zip(a, b))
+
+
+def test_memory_fraction_respected():
+    tasks = generate_tasks(spec(memory_fraction=0.5, n_tasks=200))
+    ops = [op for task in tasks for op in task.ops]
+    mem = sum(1 for op in ops if op.kind != OpKind.COMPUTE)
+    assert 0.4 < mem / len(ops) < 0.6
+
+
+def test_zero_memory_fraction_is_all_compute():
+    tasks = generate_tasks(spec(memory_fraction=0.0))
+    assert all(op.kind == OpKind.COMPUTE for t in tasks for op in t.ops)
+
+
+def test_first_task_never_mispredicted():
+    tasks = generate_tasks(spec(mispredict_rate=1.0))
+    assert not tasks[0].mispredicted
+    assert all(t.mispredicted for t in tasks[1:])
+
+
+def test_region_layout_contiguous():
+    streams = _AddressStreams(spec(working_set_bytes=10 * 1024, shared_bytes=3 * 1024))
+    assert streams.shared_base == streams.stream_base + 10 * 1024
+    assert streams.read_only_base == streams.shared_base + 3 * 1024
+    assert streams.private_base > streams.read_only_base
+
+
+def test_stream_task_alignment():
+    streams = _AddressStreams(spec())
+    streams.stream_pointer = 5  # mid-line
+    streams.start_task()
+    assert streams.stream_pointer % 4 == 0
+
+
+def test_addresses_stay_in_their_regions():
+    s = spec(n_tasks=100, memory_fraction=1.0)
+    tasks = generate_tasks(s)
+    streams = _AddressStreams(s)
+    for task in tasks:
+        for op in task.ops:
+            if op.kind == OpKind.COMPUTE:
+                continue
+            assert streams.stream_base <= op.addr < streams.private_base + 64 * 1024
+
+
+def test_region_probabilities_validated():
+    with pytest.raises(ConfigError):
+        spec(p_private=0.6, p_shared=0.3, p_read_only=0.3)
+
+
+def test_scaled_multiplies_tasks():
+    assert spec().scaled(2.0).n_tasks == 100
+    assert spec().scaled(0.01).n_tasks == 4  # floor of 4
+
+
+def test_dependences_reference_earlier_ops():
+    tasks = generate_tasks(spec(n_tasks=100))
+    for task in tasks:
+        for index, op in enumerate(task.ops):
+            assert all(0 <= dep < index for dep in op.depends_on)

@@ -1,0 +1,50 @@
+"""SPEC95 profiles: validity, distinctness, scaling hooks."""
+
+import pytest
+
+from repro.workloads.spec95 import BENCHMARKS, SPEC95_PROFILES, spec95_tasks
+
+
+def test_seven_benchmarks():
+    assert set(BENCHMARKS) == {
+        "compress", "gcc", "vortex", "perl", "ijpeg", "mgrid", "apsi"
+    }
+
+
+def test_profiles_encode_documented_characteristics():
+    profiles = SPEC95_PROFILES
+    # mgrid: working set far beyond the caches, FP-heavy.
+    assert profiles["mgrid"].working_set_bytes > 128 * 1024
+    assert profiles["mgrid"].fp_fraction > 0
+    # gcc: the branchy one — highest misprediction rate.
+    assert profiles["gcc"].mispredict_rate == max(
+        p.mispredict_rate for p in profiles.values()
+    )
+    # perl: biggest read-only reuse.
+    assert profiles["perl"].p_read_only == max(
+        p.p_read_only for p in profiles.values()
+    )
+    # compress: most write-shared traffic among integer codes.
+    assert profiles["compress"].store_fraction == max(
+        p.store_fraction for p in profiles.values()
+    )
+
+
+def test_tasks_generate_and_scale():
+    small = spec95_tasks("gcc", scale=0.02)
+    tiny_ops = sum(len(t.ops) for t in small)
+    assert len(small) >= 4
+    assert tiny_ops > 0
+    larger = spec95_tasks("gcc", scale=0.05)
+    assert len(larger) > len(small)
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError):
+        spec95_tasks("linpack")
+
+
+def test_env_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.02")
+    tasks = spec95_tasks("perl")
+    assert len(tasks) == max(4, int(SPEC95_PROFILES["perl"].n_tasks * 0.02))

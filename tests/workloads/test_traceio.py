@@ -1,0 +1,84 @@
+"""Trace serialization round-trips and rejects malformed input."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.hier.task import MemOp, TaskProgram
+from repro.workloads.generator import WorkloadSpec, generate_tasks
+from repro.workloads.traceio import dump_tasks, load_tasks
+
+
+def test_round_trip_hand_built(tmp_path):
+    tasks = [
+        TaskProgram(
+            ops=[
+                MemOp.load(0x100),
+                MemOp.compute(latency=3, depends_on=(0,)),
+                MemOp.store(0x104, 7, value_deps=(0,), depends_on=(1,)),
+            ],
+            name="t0",
+        ),
+        TaskProgram(ops=[], name=None, mispredicted=True),
+    ]
+    path = tmp_path / "trace.jsonl"
+    dump_tasks(tasks, path)
+    loaded = load_tasks(path)
+    assert len(loaded) == 2
+    assert loaded[0].ops == tasks[0].ops
+    assert loaded[0].name == "t0"
+    assert loaded[1].mispredicted
+
+
+def test_round_trip_generated_workload(tmp_path):
+    tasks = generate_tasks(WorkloadSpec(name="io", n_tasks=20, seed=3))
+    path = tmp_path / "gen.jsonl"
+    dump_tasks(tasks, path)
+    loaded = load_tasks(path)
+    assert [t.ops for t in loaded] == [t.ops for t in tasks]
+
+
+def test_loaded_trace_drives_a_system(tmp_path):
+    from conftest import make_svc
+    from repro.hier.driver import SpeculativeExecutionDriver
+    from repro.oracle.sequential import SequentialOracle, verify_run
+
+    tasks = [
+        TaskProgram(ops=[MemOp.store(0x100, 5)]),
+        TaskProgram(ops=[MemOp.load(0x100),
+                         MemOp.store(0x104, 1, value_deps=(0,))]),
+    ]
+    path = tmp_path / "drive.jsonl"
+    dump_tasks(tasks, path)
+    loaded = load_tasks(path)
+    system = make_svc("final")
+    report = SpeculativeExecutionDriver(system, loaded, seed=0).run()
+    oracle = SequentialOracle().run(loaded)
+    assert verify_run(report, oracle, system.memory) == []
+    assert system.memory.read_int(0x104, 4) == 6
+
+
+def test_bad_json_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("{not json}\n")
+    with pytest.raises(ConfigError, match="bad JSON"):
+        load_tasks(path)
+
+
+def test_unknown_op_code_rejected(tmp_path):
+    path = tmp_path / "bad2.jsonl"
+    path.write_text('{"ops": [["Z", 1, 2]]}\n')
+    with pytest.raises(ConfigError, match="unknown op code"):
+        load_tasks(path)
+
+
+def test_missing_ops_rejected(tmp_path):
+    path = tmp_path / "bad3.jsonl"
+    path.write_text('{"name": "x"}\n')
+    with pytest.raises(ConfigError, match="malformed"):
+        load_tasks(path)
+
+
+def test_blank_lines_skipped(tmp_path):
+    path = tmp_path / "blank.jsonl"
+    path.write_text('\n{"ops": []}\n\n')
+    assert len(load_tasks(path)) == 1

@@ -1,0 +1,61 @@
+"""Calibration sweep: miss ratios / bus utilization / IPC vs Table 2-3.
+
+Development tool; prints measured vs paper targets for every benchmark.
+"""
+
+import sys
+import time
+
+from repro.arb.system import ARBSystem
+from repro.common.config import ARBConfig, SVCConfig
+from repro.svc.designs import final_design
+from repro.svc.system import SVCSystem
+from repro.timing.simulator import TimingSimulator
+from repro.workloads.spec95 import SPEC95_PROFILES
+from repro.workloads.generator import generate_tasks
+
+PAPER = {
+    #            arb_miss svc_miss util8k util16k
+    "compress": (0.031, 0.075, 0.348, 0.341),
+    "gcc":      (0.021, 0.036, 0.219, 0.203),
+    "vortex":   (0.019, 0.025, 0.360, 0.354),
+    "perl":     (0.026, 0.024, 0.313, 0.291),
+    "ijpeg":    (0.015, 0.027, 0.241, 0.226),
+    "mgrid":    (0.081, 0.093, 0.747, 0.632),
+    "apsi":     (0.023, 0.034, 0.276, 0.255),
+}
+
+
+def main():
+    names = sys.argv[1:] or list(SPEC95_PROFILES)
+    scale = float(next((a.split("=")[1] for a in sys.argv if a.startswith("scale=")), "1"))
+    names = [n for n in names if n in SPEC95_PROFILES]
+    print(f"{'bench':9s} {'n':>6s} | {'ARBm':>6s}({'tgt':>5s}) {'SVCm':>6s}({'tgt':>5s}) "
+          f"{'util8':>6s}({'tgt':>5s}) {'util16':>6s}({'tgt':>5s}) | "
+          f"{'svcIPC':>6s} {'arb1':>5s} {'arb2':>5s} {'arb4':>5s} | s")
+    for name in names:
+        spec = SPEC95_PROFILES[name]
+        if scale != 1:
+            spec = spec.scaled(scale)
+        tasks = generate_tasks(spec)
+        n = sum(len(t.ops) for t in tasks)
+        t0 = time.time()
+        svc = SVCSystem(final_design(SVCConfig.paper_32kb()))
+        rs = TimingSimulator(svc, tasks).run()
+        svc16 = SVCSystem(final_design(SVCConfig.paper_64kb()))
+        rs16 = TimingSimulator(svc16, tasks).run()
+        arbs = {}
+        for hc in (1, 2, 4):
+            arb = ARBSystem(ARBConfig.paper_32kb(hit_cycles=hc))
+            arbs[hc] = TimingSimulator(arb, tasks).run()
+        tgt = PAPER[name]
+        print(f"{name:9s} {n:6d} | {arbs[1].miss_ratio():6.3f}({tgt[0]:5.3f}) "
+              f"{rs.miss_ratio():6.3f}({tgt[1]:5.3f}) "
+              f"{rs.bus_utilization():6.3f}({tgt[2]:5.3f}) "
+              f"{rs16.bus_utilization():6.3f}({tgt[3]:5.3f}) | "
+              f"{rs.ipc:6.2f} {arbs[1].ipc:5.2f} {arbs[2].ipc:5.2f} {arbs[4].ipc:5.2f} "
+              f"| {time.time()-t0:.0f}")
+
+
+if __name__ == "__main__":
+    main()

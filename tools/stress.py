@@ -1,0 +1,113 @@
+"""Randomized oracle stress of the SVC (all designs) and the ARB.
+
+Development tool complementing the hypothesis suite: wider seed sweeps,
+run from the shell. Usage: python tools/stress.py [seeds] [--hard]
+"""
+
+import dataclasses
+import random
+import sys
+
+from repro.common.config import CacheGeometry, SVCConfig, UpdatePolicy, SVCFeatures
+from repro.hier.driver import SpeculativeExecutionDriver
+from repro.hier.task import MemOp, TaskProgram
+from repro.oracle.sequential import SequentialOracle, verify_run
+from repro.svc.designs import design_config
+from repro.svc.system import SVCSystem
+
+
+def random_tasks(rng, n_tasks, max_ops, n_addrs, base=0x1000, sizes=(4,), stride=4):
+    addrs = [base + stride * i for i in range(n_addrs)]
+    tasks = []
+    value = 1
+    for _ in range(n_tasks):
+        ops = []
+        for _ in range(rng.randint(0, max_ops)):
+            size = rng.choice(sizes)
+            addr = rng.choice(addrs)
+            addr -= addr % size
+            if rng.random() < 0.5:
+                ops.append(MemOp.load(addr, size))
+            else:
+                ops.append(MemOp.store(addr, value % (1 << (8 * size)), size))
+                value += 1
+        tasks.append(TaskProgram(ops=ops))
+    return tasks
+
+
+def make_system(design, geometry):
+    if design == "arb":
+        from repro.arb.system import ARBSystem
+        from repro.common.config import ARBConfig, CacheGeometry as CG
+        config = ARBConfig(
+            n_rows=32,
+            cache_geometry=CG(size_bytes=256, associativity=1, line_size=16),
+        )
+        return ARBSystem(config)
+    config = design_config(design, SVCConfig(
+        geometry=geometry,
+        check_invariants=True,
+    ))
+    return SVCSystem(config)
+
+
+def run_one(seed, design, squash_p, hard=False):
+    rng = random.Random(seed)
+    if hard:
+        # Conflict-heavy: tiny 2-way cache, strided addresses mapping to
+        # few sets (evictions + replacement stalls), byte accesses
+        # (partial-block read-modify-write), long task lists.
+        tasks = random_tasks(
+            rng,
+            n_tasks=rng.randint(4, 16),
+            max_ops=8,
+            n_addrs=rng.randint(4, 12),
+            sizes=(1, 2, 4),
+            stride=rng.choice([4, 16, 64]),
+        )
+        geometry = CacheGeometry(size_bytes=128, associativity=2, line_size=16)
+    else:
+        tasks = random_tasks(
+            rng,
+            n_tasks=rng.randint(1, 10),
+            max_ops=6,
+            n_addrs=rng.randint(1, 6),
+        )
+        geometry = CacheGeometry(size_bytes=256, associativity=2, line_size=16)
+    system = make_system(design, geometry)
+    driver = SpeculativeExecutionDriver(
+        system, tasks, seed=seed, squash_probability=squash_p
+    )
+    report = driver.run()
+    oracle = SequentialOracle().run(tasks)
+    problems = verify_run(report, oracle, system.memory)
+    if problems:
+        print(f"seed={seed} design={design} squash_p={squash_p}")
+        for task_idx, t in enumerate(tasks):
+            print(f"  task {task_idx}: {[ (o.kind,hex(o.addr),o.value) for o in t.memory_ops]}")
+        for p in problems:
+            print("  PROBLEM:", p)
+        return False
+    return True
+
+
+def main():
+    designs = ["base", "ec", "ecs", "hr", "rl", "final", "arb"]
+    hard = "--hard" in sys.argv
+    seeds = int(sys.argv[1]) if len(sys.argv) > 1 and sys.argv[1].isdigit() else 300
+    fails = 0
+    for seed in range(seeds):
+        for design in designs:
+            for squash_p in (0.0, 0.1):
+                if design == "ec" and squash_p > 0:
+                    continue  # EC design assumes no squashes
+                if not run_one(seed, design, squash_p, hard=hard):
+                    fails += 1
+                    if fails > 3:
+                        return 1
+    print("ok" if fails == 0 else f"{fails} failures")
+    return 1 if fails else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
