@@ -5,20 +5,30 @@ protocol, printing the per-cache line states in the figures' style
 (`S`=store, `L`=load, `C`=commit, `T`=stale, `A`=architectural,
 `X`=exclusive; `ptr` is the VOL pointer; `v` the word value).
 
-Run:  python examples/protocol_walkthrough.py
+Run:  python examples/protocol_walkthrough.py [--no-checker]
+
+By default every step runs under the runtime InvariantChecker
+(repro.check), so the walkthrough doubles as a protocol audit;
+``--no-checker`` exercises the zero-overhead path.
 """
 
+import sys
+
+from repro.check import InvariantChecker
 from repro.common.config import CacheGeometry, SVCConfig
 from repro.svc.designs import design_config
 from repro.svc.system import SVCSystem
 
 A = 0x100
 
+USE_CHECKER = True
+
 
 def fresh(design: str) -> SVCSystem:
+    checker = InvariantChecker() if USE_CHECKER else None
     return SVCSystem(design_config(design, SVCConfig(
         geometry=CacheGeometry(size_bytes=512, associativity=2, line_size=16),
-    )))
+    )), checker=checker)
 
 
 def show(system: SVCSystem, caption: str) -> None:
@@ -119,12 +129,21 @@ def figure17() -> None:
     show(svc, f"task 2's load repaired the VOL and got {value}")
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    global USE_CHECKER
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--no-checker" in args:
+        USE_CHECKER = False
+        args.remove("--no-checker")
+    if args:
+        raise SystemExit(f"unknown arguments: {args} (only --no-checker)")
     figure8()
     figure9()
     figure12_13()
     figure14_15()
     figure17()
+    if USE_CHECKER:
+        print("\n(all steps audited by the runtime invariant checker)")
 
 
 if __name__ == "__main__":

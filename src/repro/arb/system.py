@@ -40,9 +40,12 @@ class ARBSystem:
         config: Optional[ARBConfig] = None,
         memory: Optional[MainMemory] = None,
         event_log: Optional[EventLog] = None,
+        checker=None,
     ) -> None:
         self.config = config if config is not None else ARBConfig()
         self.stats = StatsRegistry()
+        if checker is not None and event_log is None:
+            event_log = EventLog()
         self.event_log = event_log
         self.memory = memory if memory is not None else MainMemory(
             self.config.miss_penalty_cycles
@@ -56,6 +59,9 @@ class ARBSystem:
             unit: None for unit in range(self.n_units)
         }
         self._committed_through = -1
+        self.checker = checker
+        if checker is not None:
+            checker.bind(self)
 
     @property
     def n_units(self) -> int:

@@ -35,6 +35,9 @@ class SnoopingBus:
         self.keep_history = keep_history
         self.history: List[BusTransaction] = []
         self._free_at = 0
+        #: Fault injection (repro.faults): extra occupancy per request
+        #: kind, e.g. ``{"wback": 2}`` models a slow next-level path.
+        self.fault_extra_cycles: dict = {}
 
     def reserve(
         self,
@@ -55,6 +58,8 @@ class SnoopingBus:
         """
         start = max(now, self._free_at)
         cycles = self.config.transaction_cycles + extra_cycles
+        if self.fault_extra_cycles:
+            cycles += self.fault_extra_cycles.get(kind, 0)
         end = start + cycles
         self._free_at = end
 

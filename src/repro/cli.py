@@ -6,6 +6,7 @@ Usage (any experiment from the registry)::
     python -m repro fig19 --benchmarks compress,mgrid
     python -m repro ablation_designs
     python -m repro list
+    python -m repro replay failure.json --shrink
 
 Results print in the paper's row/series shape, with the published
 numbers alongside where the paper reports them, and can additionally be
@@ -58,7 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (see 'list'): "
-        + ", ".join(sorted(set(EXPERIMENTS) | {"list"})),
+        + ", ".join(sorted(set(EXPERIMENTS) | {"list"}))
+        + "; or 'replay <capture.json>' to re-run a failure capture",
     )
     parser.add_argument(
         "--benchmarks",
@@ -81,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "replay":
+        from repro.replay import replay_main
+
+        return replay_main(raw[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, runner in sorted(EXPERIMENTS.items()):

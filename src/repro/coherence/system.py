@@ -30,11 +30,14 @@ class SMPSystem:
         bus_config: Optional[BusConfig] = None,
         memory: Optional[MainMemory] = None,
         event_log: Optional[EventLog] = None,
+        checker=None,
     ) -> None:
         if n_caches < 2:
             raise ConfigError("an SMP needs at least two caches")
         self.geometry = geometry if geometry is not None else CacheGeometry()
         self.stats = StatsRegistry()
+        if checker is not None and event_log is None:
+            event_log = EventLog()
         self.event_log = event_log
         self.bus = SnoopingBus(
             bus_config if bus_config is not None else BusConfig(),
@@ -46,6 +49,9 @@ class SMPSystem:
             SMPCache(i, self.geometry) for i in range(n_caches)
         ]
         self._now = 0
+        self.checker = checker
+        if checker is not None:
+            checker.bind(self)
 
     # -- processor interface -------------------------------------------------
 

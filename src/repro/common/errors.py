@@ -24,6 +24,31 @@ class SimulationError(ReproError):
     """A runtime simulation failure (deadlock, resource exhaustion, ...)."""
 
 
+class InvariantViolation(ProtocolError):
+    """A runtime invariant check failed, with a structured diagnostic.
+
+    Raised by :class:`repro.check.InvariantChecker`. ``invariant`` names
+    the violated rule (see docs/INVARIANTS.md), ``subject`` identifies
+    the state it was checked on (usually a line address or cache id) and
+    ``detail`` carries rule-specific fields — enough for a failure
+    capture to say exactly what went wrong without re-running.
+    """
+
+    def __init__(self, invariant: str, message: str, subject=None, **detail) -> None:
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+        self.subject = subject
+        self.detail = detail
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "message": str(self),
+            "subject": self.subject,
+            "detail": {k: repr(v) for k, v in self.detail.items()},
+        }
+
+
 class ReplacementStall(SimulationError):
     """No legal replacement victim exists for a fill.
 

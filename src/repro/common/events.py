@@ -7,12 +7,20 @@ The worked-example tests (paper Figures 4, 8, 9, 12-17) and the
 
 Logging is optional: components accept ``event_log=None`` and skip emission
 entirely, so the timing benchmarks pay nothing for it.
+
+The log is also the hook point for runtime verification: observers
+registered with :meth:`EventLog.attach` see every event as it is
+emitted, which is how :class:`repro.check.InvariantChecker` audits the
+protocol after every bus transaction, commit and squash without the
+protocol code knowing checkers exist. With no log there are no
+observers, so the ``checker=None`` / ``event_log=None`` fast path costs
+exactly what it did before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -39,9 +47,28 @@ class EventLog:
 
     def __init__(self) -> None:
         self._events: List[ProtocolEvent] = []
+        self._observers: List[Callable[[ProtocolEvent], None]] = []
+
+    def attach(self, observer: Callable[[ProtocolEvent], None]) -> None:
+        """Register an observer called with every event as it is emitted.
+
+        Observers run synchronously, after the event is appended; an
+        observer that raises (e.g. an invariant checker) aborts the
+        emitting operation with the protocol state intact for post-mortem
+        inspection.
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def detach(self, observer: Callable[[ProtocolEvent], None]) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     def emit(self, kind: str, source: str, **detail: Any) -> None:
-        self._events.append(ProtocolEvent(kind=kind, source=source, detail=detail))
+        event = ProtocolEvent(kind=kind, source=source, detail=detail)
+        self._events.append(event)
+        for observer in self._observers:
+            observer(event)
 
     def __len__(self) -> int:
         return len(self._events)

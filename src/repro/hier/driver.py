@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.errors import ReplacementStall, SimulationError
+from repro.faults import FaultInjector, FaultPlan
 from repro.hier.task import OpKind, TaskProgram
 
 
@@ -79,6 +80,11 @@ class SpeculativeExecutionDriver:
     #: ahead of producers, maximizing misspeculation and recovery.
     SCHEDULES = ("random", "oldest_first", "youngest_first")
 
+    #: Scheduler rounds without a completed op or commit before the
+    #: watchdog declares the run livelocked (a stalled-retry loop that
+    #: will never resolve) instead of spinning to max_steps.
+    WATCHDOG_ROUNDS = 250
+
     def __init__(
         self,
         system,
@@ -87,6 +93,8 @@ class SpeculativeExecutionDriver:
         squash_probability: float = 0.0,
         max_steps: Optional[int] = None,
         schedule: str = "random",
+        fault_plan: Optional[FaultPlan] = None,
+        watchdog_rounds: Optional[int] = None,
     ) -> None:
         if schedule not in self.SCHEDULES:
             raise SimulationError(
@@ -102,11 +110,22 @@ class SpeculativeExecutionDriver:
             if max_steps is not None
             else 2000 + 400 * sum(len(t.memory_ops) + 1 for t in tasks)
         )
+        self.fault_injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        if self.fault_injector is not None:
+            self.fault_injector.install(system)
+        self.watchdog_rounds = (
+            watchdog_rounds if watchdog_rounds is not None else self.WATCHDOG_ROUNDS
+        )
         self._next_dispatch = 0
         self._free_pus = list(range(system.n_units))
         self._violations = 0
         self._injected = 0
         self._stalls = 0
+        #: Monotone count of completed ops and commits — the watchdog's
+        #: definition of forward progress.
+        self._progress = 0
         #: Ranks whose last attempt hit a ReplacementStall; deprioritized
         #: by the deterministic schedules until something else progresses
         #: (prevents a youngest-first livelock on a stalled task).
@@ -162,6 +181,19 @@ class SpeculativeExecutionDriver:
 
     def _step_pu(self, rank: int) -> None:
         state = self.tasks[rank]
+        # The head task is non-speculative (paper section 2): its stores are
+        # architectural and may already have reached memory, so no squash
+        # mechanism exists for it. A forced squash aimed at the current head
+        # is therefore protocol-illegal and must not fire.
+        if (
+            self.fault_injector is not None
+            and rank != self._head_rank()
+            and self.fault_injector.forced_squash(rank, state.op_index)
+        ):
+            squashed = self.system.squash_from_rank(rank, reason="fault")
+            self._injected += 1
+            self._reset_squashed(squashed)
+            return
         op = state.program.memory_ops[state.op_index]
         try:
             if op.kind == OpKind.LOAD:
@@ -179,6 +211,7 @@ class SpeculativeExecutionDriver:
             else:
                 raise SimulationError(f"functional driver got op kind {op.kind!r}")
             self._recently_stalled.discard(rank)
+            self._progress += 1
         except ReplacementStall:
             self._stalls += 1  # retried on a later step
             self._recently_stalled.add(rank)
@@ -189,13 +222,40 @@ class SpeculativeExecutionDriver:
         state.committed = True
         self._free_pus.append(state.pu)
         state.pu = None
+        self._progress += 1
         # A commit frees capacity: stalled tasks may proceed now.
         self._recently_stalled.clear()
+
+    def _stall_report(self, rounds: int) -> str:
+        """Per-rank diagnostics for a watchdog-detected livelock: which
+        tasks are stuck, where, and how often they were re-executed."""
+        lines = [
+            f"no forward progress for {rounds} scheduler rounds "
+            f"({self._stalls} replacement stalls so far); per-rank state:"
+        ]
+        for rank, state in enumerate(self.tasks):
+            if state.committed:
+                continue
+            status = (
+                "stalled" if rank in self._recently_stalled else "runnable"
+            )
+            where = (
+                "waiting to dispatch"
+                if state.pu is None
+                else f"pu={state.pu} op {state.op_index}/"
+                f"{len(state.program.memory_ops)}"
+            )
+            lines.append(
+                f"  rank {rank}: {where} executions={state.executions} {status}"
+            )
+        return "\n".join(lines)
 
     # -- main loop ---------------------------------------------------------------
 
     def run(self) -> DriverReport:
         steps = 0
+        last_progress = self._progress
+        stalled_rounds = 0
         self._dispatch()
         while not all(state.committed for state in self.tasks):
             steps += 1
@@ -204,7 +264,19 @@ class SpeculativeExecutionDriver:
                     f"driver exceeded {self.max_steps} steps; "
                     "likely livelock in the protocol or the schedule"
                 )
+            if self._progress == last_progress:
+                stalled_rounds += 1
+                if stalled_rounds > self.watchdog_rounds:
+                    raise SimulationError(self._stall_report(stalled_rounds))
+            else:
+                last_progress = self._progress
+                stalled_rounds = 0
             if self.squash_probability and self.rng.random() < self.squash_probability:
+                self._inject_squash()
+            if (
+                self.fault_injector is not None
+                and self.fault_injector.wants_random_squash()
+            ):
                 self._inject_squash()
 
             head = self._head_rank()

@@ -72,6 +72,24 @@ class SetAssociativeArray(Generic[LineT]):
                 return addr, line
         return None
 
+    def victim_candidates(
+        self,
+        line_addr: int,
+        can_evict: Optional[Callable[[int, LineT], bool]] = None,
+    ) -> List[Tuple[int, LineT]]:
+        """Every legal victim for ``line_addr`` in LRU order, or an empty
+        list when no eviction is needed (free way) or none is legal —
+        same ambiguity as :meth:`choose_victim`, and callers that biased
+        replacement policies (fault injection) pick from this list."""
+        way_set = self._set_for(line_addr)
+        if len(way_set) < self.geometry.associativity:
+            return []
+        return [
+            (addr, line)
+            for addr, line in way_set.items()
+            if can_evict is None or can_evict(addr, line)
+        ]
+
     def insert(self, line_addr: int, line: LineT) -> None:
         """Insert into a set with a free way; caller evicts first if full."""
         way_set = self._set_for(line_addr)

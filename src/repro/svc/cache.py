@@ -42,6 +42,9 @@ class SVCCache:
         self.active_lines: Set[int] = set()
         #: Rank of the task currently executing on this cache's PU.
         self.current_task: Optional[int] = None
+        #: Fault injection (repro.faults): when set, replacement picks an
+        #: adversarial victim from the legal candidates instead of LRU.
+        self.victim_bias_rng = None
 
     # -- lookup helpers --------------------------------------------------------
 
@@ -81,7 +84,8 @@ class SVCCache:
         ):
             line.store_mask = 0
             line.committed = False
-            line.architectural = True
+            line.architectural = self.features.architectural_bit
+            line.written_back = False
             line.load_mask = 0
             line.task_id = self.current_task
             self.active_lines.add(line_addr)
@@ -175,6 +179,19 @@ class SVCCache:
     def choose_victim(
         self, line_addr: int, is_head: bool
     ) -> Optional[Tuple[int, SVCLine]]:
+        if self.victim_bias_rng is not None:
+            candidates = self.array.victim_candidates(
+                line_addr, lambda addr, line: self.can_evict(addr, line, is_head)
+            )
+            if not candidates:
+                return None
+            # Adversarial bias: usually evict the hottest (MRU) legal
+            # line, sometimes a random one — maximal conflict churn at a
+            # fixed associativity. Correctness must not depend on the
+            # replacement policy, only on the can_evict veto.
+            if self.victim_bias_rng.random() < 0.75:
+                return candidates[-1]
+            return self.victim_bias_rng.choice(candidates)
         return self.array.choose_victim(
             line_addr, lambda addr, line: self.can_evict(addr, line, is_head)
         )
@@ -250,6 +267,9 @@ class SVCCache:
                 line.committed = True
                 line.load_mask = 0
                 line.task_id = None
+                # A squashed task's copy has no exclusivity claim: X
+                # would wrongly authorize a silent local reactivation.
+                line.exclusive = False
             else:
                 self.array.remove(line_addr)
                 dropped.append(line_addr)

@@ -51,12 +51,15 @@ class SVCSystem:
         config: Optional[SVCConfig] = None,
         memory: Optional[MainMemory] = None,
         event_log: Optional[EventLog] = None,
+        checker=None,
     ) -> None:
         self.config = config if config is not None else SVCConfig()
         self.features = self.config.features
         self.geometry = self.config.geometry
         self.amap = self.geometry.address_map
         self.stats = StatsRegistry()
+        if checker is not None and event_log is None:
+            event_log = EventLog()
         self.event_log = event_log
         self.bus = SnoopingBus(self.config.bus, stats=self.stats, event_log=event_log)
         self.memory = memory if memory is not None else MainMemory(
@@ -69,6 +72,15 @@ class SVCSystem:
         self.vcl = VersionControlLogic(self)
         self._committed_through = -1
         self._content_counter = 0
+        #: True while a bus transaction is mutating distributed state.
+        #: A violation squash fired mid-window is observable through the
+        #: event log before the requestor's own line is final; full-state
+        #: scans (the InvariantChecker) must skip those torn snapshots —
+        #: the transaction's closing bus event audits the final state.
+        self._in_transaction = False
+        self.checker = checker
+        if checker is not None:
+            checker.bind(self)
 
     def next_content_seq(self) -> int:
         """Allocate a fresh, globally monotonic version-state stamp."""
@@ -177,7 +189,10 @@ class SVCSystem:
                 cache.flash_invalidate_all()
                 cache.current_task = None
             self.stats.add(f"squashes_{reason}")
-            if self.event_log is not None:
+        # Emit after *all* victims are flashed: observers (the invariant
+        # checker) must not see the half-squashed intermediate states.
+        if self.event_log is not None:
+            for task, cache_id in victims:
                 self.event_log.emit(
                     "squash", source="svc", cache=cache_id, rank=task, reason=reason
                 )
@@ -205,7 +220,11 @@ class SVCSystem:
                 end_cycle=now + self.config.hit_cycles,
             )
         self.stats.add("load_misses")
-        line, bus_outcome = self.vcl.bus_read(cache_id, line_addr, now)
+        self._in_transaction = True
+        try:
+            line, bus_outcome = self.vcl.bus_read(cache_id, line_addr, now)
+        finally:
+            self._in_transaction = False
         cache.record_load(line, block_mask)
         return AccessResult(
             value=line.read(offset, size),
@@ -242,9 +261,13 @@ class SVCSystem:
                 value=None, hit=True, end_cycle=now + self.config.hit_cycles
             )
         self.stats.add("store_misses")
-        line, bus_outcome = self.vcl.bus_write(
-            cache_id, line_addr, addr, size, value, now
-        )
+        self._in_transaction = True
+        try:
+            line, bus_outcome = self.vcl.bus_write(
+                cache_id, line_addr, addr, size, value, now
+            )
+        finally:
+            self._in_transaction = False
         return AccessResult(
             value=None,
             hit=False,
@@ -323,8 +346,11 @@ class SVCSystem:
             vol = build_vol(entries, ranks)
             stamps = self.vcl.memory_stamps_for(line_addr)
             rewrite_pointers(entries, vol)
-            refresh_stale_bits(entries, vol, stamps)
-            check_invariants(entries, vol, ranks, stamps)
+            if self.features.stale_bit:
+                refresh_stale_bits(entries, vol, stamps)
+            check_invariants(
+                entries, vol, ranks, stamps, check_stale=self.features.stale_bit
+            )
 
     def miss_ratio(self) -> float:
         """Table-2 definition: accesses supplied by next-level memory

@@ -230,9 +230,18 @@ class VersionControlLogic:
         vol = build_vol(entries, ranks)
         rewrite_pointers(entries, vol)
         memory_stamps = self.memory_stamps_for(line_addr)
-        refresh_stale_bits(entries, vol, memory_stamps)
+        # The T bit exists only from the EC design on (Figure 11);
+        # earlier tiers have no stale bookkeeping to maintain.
+        if self.system.features.stale_bit:
+            refresh_stale_bits(entries, vol, memory_stamps)
         if self.system.config.check_invariants:
-            check_invariants(entries, vol, ranks, memory_stamps)
+            check_invariants(
+                entries,
+                vol,
+                ranks,
+                memory_stamps,
+                check_stale=self.system.features.stale_bit,
+            )
 
     @staticmethod
     def _clear_supplier_exclusivity(
@@ -250,16 +259,20 @@ class VersionControlLogic:
                 entries[cache_id].exclusive = False
 
     @staticmethod
-    def _revoke_earlier_exclusivity(
-        entries: Dict[int, SVCLine], vol: List[int], position: int
+    def _revoke_other_exclusivity(
+        entries: Dict[int, SVCLine], requestor: int
     ) -> None:
-        """A new copy installed at ``position`` means every earlier
-        entry can no longer prove no later task holds a piece of the
-        line: the silent-store privilege is revoked. Committed lines
-        lose it too — a written-back passive line's X bit is what
+        """A new copy installed anywhere revokes every other entry's X
+        bit — the E-state demotion of MESI. Not just *earlier* entries:
+        with lazy commit, a copy ordered before the X holder can become
+        a committed copy and later be silently reactivated by a task
+        ordered *after* the holder (T-clear reuse needs no bus request),
+        so the only install-time moment to revoke is now. Committed
+        lines lose X too — a written-back passive line's X bit is what
         authorizes local reactivation."""
-        for cache_id in vol[:position]:
-            entries[cache_id].exclusive = False
+        for cache_id, line in entries.items():
+            if cache_id != requestor:
+                line.exclusive = False
 
     def _suppliers_architectural(
         self,
@@ -268,7 +281,11 @@ class VersionControlLogic:
         ranks: Dict[int, int],
     ) -> bool:
         """A-bit rule (section 3.5.1): a copy is architectural when main
-        memory, a committed version or the head task supplied it."""
+        memory, a committed version or the head task supplied it. The A
+        bit exists only from the ECS design on (Figure 16); earlier
+        tiers never set it."""
+        if not self.system.features.architectural_bit:
+            return False
         head = self.system.head_rank()
         for source, cache_id in suppliers.values():
             if source in (MEMORY, CLEAN):
@@ -317,7 +334,7 @@ class VersionControlLogic:
         cache_to_cache = any(src in (CACHE, CLEAN) for src, _ in suppliers.values())
         architectural = self._suppliers_architectural(suppliers, entries, ranks)
         self._clear_supplier_exclusivity(entries, suppliers)
-        self._revoke_earlier_exclusivity(entries, vol, position)
+        self._revoke_other_exclusivity(entries, requestor)
 
         # EC design: a load supplied by a committed version writes it back
         # and invalidates the committed versions it covers (Figure 12).
@@ -393,6 +410,9 @@ class VersionControlLogic:
             if set(holders) == {requestor} and not line.committed:
                 line.exclusive = True
 
+        # Repair before the bus event fires: observers of the "bus"
+        # event (the invariant checker) must see post-repair state.
+        self._finalize(line_addr)
         extra = system.bus.config.commit_flush_extra_cycles * flushes
         transaction = system.bus.reserve(
             now,
@@ -407,7 +427,6 @@ class VersionControlLogic:
             end += system.config.miss_penalty_cycles
             system.stats.add("memory_supplies")
 
-        self._finalize(line_addr)
         outcome = BusOutcome(
             kind=BusRequestKind.READ,
             end_cycle=end,
@@ -446,7 +465,7 @@ class VersionControlLogic:
             if bytes(data) != bytes(new_line.data):
                 continue
             self._clear_supplier_exclusivity(entries, suppliers)
-            self._revoke_earlier_exclusivity(entries, vol, position)
+            self._revoke_other_exclusivity(entries, cid)
             copy = SVCLine(
                 data=bytearray(data),
                 valid_mask=system.amap.full_mask,
@@ -515,7 +534,7 @@ class VersionControlLogic:
         from_memory = any(src == MEMORY for src, _ in suppliers.values())
         cache_to_cache = any(src in (CACHE, CLEAN) for src, _ in suppliers.values())
         self._clear_supplier_exclusivity(entries, suppliers)
-        self._revoke_earlier_exclusivity(entries, vol, position)
+        self._revoke_other_exclusivity(entries, requestor)
 
         # Projected content of the new version, used to patch copies
         # under the write-update policy.
@@ -541,6 +560,21 @@ class VersionControlLogic:
         # The content stamp of the version state this store creates;
         # patched copies must carry the same stamp as the version.
         pending_content = system.next_content_seq()
+        # Per-block stamps of the projected line: stored blocks carry
+        # the new stamp, everything else keeps the stamp of the data it
+        # actually holds (own blocks, fill suppliers, or memory). A
+        # window patch must copy these per block — stamping an
+        # unmodified block with the new version's stamp would make the
+        # T machinery treat old bytes as the newest version.
+        projected_stamps = (
+            list(own.block_content)
+            if own_active
+            else [0] * amap.blocks_per_line
+        )
+        for block in amap.blocks_in_mask(need_mask):
+            projected_stamps[block] = stamps[block]
+        for block in amap.blocks_in_mask(block_mask):
+            projected_stamps[block] = pending_content
         squashed_ranks: List[int] = []
         invalidations = 0
         updates = 0
@@ -577,7 +611,7 @@ class VersionControlLogic:
             patch = overlap & ~line.store_mask
             if patch:
                 done_invalidate, done_update = self._apply_window_policy(
-                    cache_id, line_addr, line, patch, projected, pending_content
+                    cache_id, line_addr, line, patch, projected, projected_stamps
                 )
                 invalidations += done_invalidate
                 updates += done_update
@@ -628,10 +662,25 @@ class VersionControlLogic:
         # architectural (memory) image so a rank-0 version is
         # distinguishable from a pre-speculation memory copy.
         line.version_seq = my_rank + 1
-        line.architectural = my_rank == system.head_rank()
+        line.architectural = (
+            system.features.architectural_bit and my_rank == system.head_rank()
+        )
         line.written_back = False
-        line.exclusive = exclusive_ok
+        # The X grant additionally requires that no other cache holds
+        # valid data for the line *anywhere* in the VOL — not just
+        # downstream. A later silent store changes the tail-of-VOL with
+        # no bus event to snoop, so an earlier entry's T bit would go
+        # stale-while-clear and its eventual committed copy could be
+        # wrongly reused (T-clear local reuse reads the old version).
+        # Re-read residency: the window walk may have dropped copies.
+        line.exclusive = exclusive_ok and all(
+            other.valid_mask == 0
+            for cid, other in self._entries(line_addr).items()
+            if cid != requestor
+        )
 
+        # Repair before the bus event fires (see bus_read).
+        self._finalize(line_addr)
         extra = system.bus.config.commit_flush_extra_cycles * flushes
         transaction = system.bus.reserve(
             now,
@@ -647,7 +696,6 @@ class VersionControlLogic:
             end += system.config.miss_penalty_cycles
             system.stats.add("memory_supplies")
 
-        self._finalize(line_addr)
         outcome = BusOutcome(
             kind=BusRequestKind.WRITE,
             end_cycle=end,
@@ -667,15 +715,15 @@ class VersionControlLogic:
         line: SVCLine,
         patch: int,
         projected: bytearray,
-        writer_content: int,
+        projected_stamps: List[int],
     ) -> Tuple[int, int]:
         """Invalidate or update the copy blocks a store made stale.
 
         Pure invalidate clears the valid bits (the whole line drops when
         nothing useful remains); pure update pushes the new version's
-        bytes into the copy; hybrid (section 3.8) updates copies whose
-        task has demonstrated interest (any L bit set) and invalidates
-        the rest.
+        bytes into the copy, each block keeping the stamp of the data
+        it receives; hybrid (section 3.8) updates copies whose task has
+        demonstrated interest (any L bit set) and invalidates the rest.
         """
         system = self.system
         policy = system.features.update_policy
@@ -688,7 +736,7 @@ class VersionControlLogic:
             for block in system.amap.blocks_in_mask(patch):
                 start = block * vbs
                 line.data[start : start + vbs] = projected[start : start + vbs]
-                line.block_content[block] = writer_content
+                line.block_content[block] = projected_stamps[block]
             line.valid_mask |= patch
             # The copy now carries speculative data; it must not survive
             # a squash as "architectural".
@@ -734,11 +782,12 @@ class VersionControlLogic:
             self._write_blocks(line_addr, line, line.store_mask & line.valid_mask)
             flushes += 1
             cache.drop(line_addr)
+        # Repair before the bus event fires (see bus_read).
+        self._finalize(line_addr)
         extra = system.bus.config.commit_flush_extra_cycles * max(0, flushes - 1)
         transaction = system.bus.reserve(
             now, BusRequestKind.WBACK, cache_id, line_addr, extra_cycles=extra
         )
-        self._finalize(line_addr)
         return transaction.end_cycle
 
     def drain(self) -> None:

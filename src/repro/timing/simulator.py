@@ -21,12 +21,18 @@ from typing import Dict, List, Optional
 
 from repro.common.config import ProcessorConfig
 from repro.common.errors import ReplacementStall, SimulationError
+from repro.faults import FaultInjector, FaultPlan
 from repro.hier.task import OpKind, TaskProgram
 from repro.mem.mshr import MSHRFile
 from repro.timing.pu import PUTaskTiming
 
 #: Cycles to wait before retrying a structurally stalled memory op.
 _STALL_RETRY = 8
+
+#: Consecutive ReplacementStall retries on one PU before the watchdog
+#: declares the run livelocked (nothing else is advancing the head, so
+#: the stalled PU will never find an evictable way).
+_WATCHDOG_STALL_STREAK = 200
 
 
 @dataclass
@@ -92,8 +98,17 @@ class TimingSimulator:
         system,
         tasks: List[TaskProgram],
         processor: Optional[ProcessorConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.system = system
+        self._fault_injector = (
+            FaultInjector(fault_plan) if fault_plan is not None else None
+        )
+        if self._fault_injector is not None:
+            self._fault_injector.install(system)
+            tasks = self._fault_injector.mark_mispredicted(tasks)
+            self._mshr_rng = self._fault_injector.plan.rng("mshr")
+            self._bus_rng = self._fault_injector.plan.rng("bus")
         self.tasks = tasks
         self.processor = processor if processor is not None else ProcessorConfig(
             n_pus=system.n_units
@@ -124,6 +139,10 @@ class TimingSimulator:
         combining = getattr(system, "mshr_combining", 4)
         self._mshrs = {
             pu: MSHRFile(per_unit, combining) for pu in range(self.processor.n_pus)
+        }
+        #: Consecutive ReplacementStall retries per PU (watchdog input).
+        self._stall_streak: Dict[int, int] = {
+            pu: 0 for pu in range(self.processor.n_pus)
         }
 
     # -- event plumbing ---------------------------------------------------------
@@ -171,8 +190,29 @@ class TimingSimulator:
             state = self._states[pu]
             state.reset(restart)
             self._done_at.pop(rank, None)
+            self._stall_streak[pu] = 0
             self.system.begin_task(pu, rank)
             self._schedule(pu, restart)
+
+    def _stall_report(self, stuck_pu: int, stall: ReplacementStall, now: int) -> str:
+        """Per-PU stall diagnostics for a watchdog-detected livelock."""
+        lines = [
+            f"PU {stuck_pu} retried a replacement stall "
+            f"{self._stall_streak[stuck_pu]} times (cache "
+            f"{stall.cache_id}, line {stall.line_addr:#x}) with no "
+            f"intervening progress at cycle {now}; per-PU state:"
+        ]
+        for pu in range(self.processor.n_pus):
+            state = self._states[pu]
+            if state is None:
+                lines.append(f"  pu {pu}: idle")
+                continue
+            lines.append(
+                f"  pu {pu}: rank {state.rank} op {state.op_index}/"
+                f"{len(state.program.ops)} stall_streak="
+                f"{self._stall_streak[pu]}"
+            )
+        return "\n".join(lines)
 
     # -- memory events ----------------------------------------------------------------
 
@@ -186,6 +226,25 @@ class TimingSimulator:
             state.defer_mem(retry)
             self._schedule(pu, retry)
             return
+        if self._fault_injector is not None:
+            plan = self._fault_injector.plan
+            if plan.mshr_saturation and self._mshr_rng.random() < plan.mshr_saturation:
+                # Injected structural hazard: the MSHR file behaves as
+                # full for this attempt; retry like a real saturation.
+                retry = now + _STALL_RETRY
+                state.defer_mem(retry)
+                self._schedule(pu, retry)
+                return
+            if (
+                plan.bus_saturation
+                and hasattr(self.system, "bus")
+                and self._bus_rng.random() < plan.bus_saturation
+            ):
+                # Injected contention: a competing agent occupies the bus
+                # first, so this PU's transaction queues behind it.
+                self.system.bus.reserve(
+                    now, "fault", None, self.system.amap.line_address(op.addr)
+                )
         try:
             if op.kind == OpKind.LOAD:
                 result = self.system.load(pu, op.addr, op.size, now=now)
@@ -195,11 +254,15 @@ class TimingSimulator:
                 # Stores retire into the store buffer; dependents (none,
                 # by construction) would see them a cycle later.
                 end = now + 1
-        except ReplacementStall:
+        except ReplacementStall as stall:
             self._stall_retries += 1
+            self._stall_streak[pu] += 1
+            if self._stall_streak[pu] > _WATCHDOG_STALL_STREAK:
+                raise SimulationError(self._stall_report(pu, stall, now))
             state.defer_mem(now + _STALL_RETRY)
             self._schedule(pu, now + _STALL_RETRY)
             return
+        self._stall_streak[pu] = 0
         self._executed_memory_ops += 1
         if not result.hit:
             line_addr = self.system.amap.line_address(op.addr)
@@ -233,6 +296,9 @@ class TimingSimulator:
             self._states[pu] = None
             del self._rank_to_pu[head]
             self._mshrs[pu].flush()
+            # A commit frees replacement capacity everywhere.
+            for unit in self._stall_streak:
+                self._stall_streak[unit] = 0
 
             # Misprediction detection: committing task ``head`` reveals
             # whether its successor was the right task to dispatch.

@@ -4,6 +4,7 @@ import dataclasses
 
 import pytest
 
+from repro.check import InvariantChecker
 from repro.common.config import CacheGeometry, SVCConfig
 from repro.svc.designs import design_config
 from repro.svc.system import SVCSystem
@@ -18,7 +19,8 @@ def small_geometry(**overrides) -> CacheGeometry:
 
 
 def make_svc(design: str = "final", n_caches: int = 4, **overrides) -> SVCSystem:
-    """An SVC with invariant checking on, sized for unit tests."""
+    """An SVC with invariant checking on — both the strict post-repair
+    debug audit and the runtime InvariantChecker — sized for unit tests."""
     config = design_config(
         design,
         SVCConfig(
@@ -29,7 +31,7 @@ def make_svc(design: str = "final", n_caches: int = 4, **overrides) -> SVCSystem
     )
     if overrides:
         config = dataclasses.replace(config, **overrides)
-    return SVCSystem(config)
+    return SVCSystem(config, checker=InvariantChecker())
 
 
 @pytest.fixture

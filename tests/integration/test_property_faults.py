@@ -1,0 +1,137 @@
+"""Property-based robustness: faulted runs stay correct under audit.
+
+Hypothesis generates random task programs *and* random fault plans —
+forced mid-chain squashes, misprediction storms, adversarial
+replacement victims, delayed writebacks — and every run executes with
+the runtime invariant checker attached (Case(checker=True)). The
+property is twofold: no protocol invariant breaks at any step, and the
+committed execution still matches the sequential oracle. This is the
+fault harness's reason to exist: steering the protocol into squash
+recovery and VOL repair paths a benign workload rarely takes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.config import CacheGeometry
+from repro.faults import FaultPlan
+from repro.hier.task import MemOp, TaskProgram
+from repro.replay import Case, run_case
+from repro.svc.designs import DESIGNS
+
+ADDRESS_POOL = [0x1000 + 4 * i for i in range(8)]
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def task_programs(draw, max_tasks=6):
+    n_tasks = draw(st.integers(min_value=1, max_value=max_tasks))
+    tasks = []
+    counter = 1
+    for _ in range(n_tasks):
+        n_ops = draw(st.integers(min_value=0, max_value=5))
+        ops = []
+        for _ in range(n_ops):
+            addr = draw(st.sampled_from(ADDRESS_POOL))
+            size = draw(st.sampled_from([1, 2, 4]))
+            addr -= addr % size
+            if draw(st.booleans()):
+                ops.append(MemOp.load(addr, size))
+            else:
+                ops.append(MemOp.store(addr, counter % (1 << (8 * size)), size))
+                counter += 1
+        tasks.append(TaskProgram(ops=ops))
+    return tuple(tasks)
+
+
+@st.composite
+def fault_plans(draw, n_tasks, allow_squashes=True):
+    squash_at = ()
+    squash_rate = 0.0
+    if allow_squashes and n_tasks > 1:
+        n_forced = draw(st.integers(min_value=0, max_value=2))
+        squash_at = tuple(
+            (draw(st.integers(1, n_tasks - 1)), draw(st.integers(0, 4)))
+            for _ in range(n_forced)
+        )
+        squash_rate = draw(st.sampled_from([0.0, 0.1]))
+    return FaultPlan(
+        seed=draw(st.integers(0, 2**16)),
+        squash_rate=squash_rate,
+        squash_at=squash_at,
+        adversarial_victims=draw(st.booleans()),
+        delayed_writebacks=draw(st.sampled_from([0, 2])),
+    )
+
+
+def run_checked(design, tasks, seed, plan):
+    case = Case(
+        design=design,
+        seed=seed,
+        tasks=tasks,
+        geometry=CacheGeometry(size_bytes=256, associativity=2, line_size=16),
+        fault_plan=plan,
+        checker=True,
+    )
+    result = run_case(case)
+    assert result.ok, result.describe()
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+class TestFaultedRunsStayCorrect:
+    @SETTINGS
+    @given(data=st.data())
+    def test_random_faults_under_audit(self, design, data):
+        tasks = data.draw(task_programs())
+        # The EC design assumes no squashes (paper section 3.4); the
+        # remaining fault dimensions still apply to it.
+        plan = data.draw(
+            fault_plans(len(tasks), allow_squashes=design != "ec")
+        )
+        seed = data.draw(st.integers(0, 2**16))
+        run_checked(design, tasks, seed, plan)
+
+
+def chain_tasks(n):
+    """n tasks all writing then reading one contended line: every rank
+    appears in the VOL, so squashes leave maximal repair work."""
+    return tuple(
+        TaskProgram(ops=[MemOp.store(0x1000, rank + 1), MemOp.load(0x1000)])
+        for rank in range(n)
+    )
+
+
+class TestTargetedSquashShapes:
+    """Deterministic squash placements for the VOL-repair edge cases:
+    right behind the head, mid-chain, and the entire speculative window
+    at once."""
+
+    @pytest.mark.parametrize("design", ["base", "ecs", "final"])
+    def test_squash_eldest_speculative_task(self, design):
+        # Rank 1 is the eldest squashable task; squashing it takes down
+        # the whole window behind the head in one flash.
+        plan = FaultPlan(squash_at=((1, 1),))
+        run_checked(design, chain_tasks(5), seed=3, plan=plan)
+
+    @pytest.mark.parametrize("design", ["base", "ecs", "final"])
+    def test_squash_mid_chain(self, design):
+        plan = FaultPlan(squash_at=((3, 1),))
+        run_checked(design, chain_tasks(6), seed=4, plan=plan)
+
+    @pytest.mark.parametrize("design", ["hr", "rl", "final"])
+    def test_repeated_squashes_of_the_same_rank(self, design):
+        # The rank re-executes after each squash; op index 0 and 1 force
+        # one squash per execution attempt.
+        plan = FaultPlan(squash_at=((2, 0), (2, 1)))
+        run_checked(design, chain_tasks(4), seed=5, plan=plan)
+
+    def test_forced_squash_aimed_at_the_head_is_ignored(self):
+        # The head task is non-speculative: a fault plan naming the
+        # current head must not fire (no rollback mechanism exists).
+        plan = FaultPlan(squash_at=((0, 0), (0, 1)))
+        run_checked("final", chain_tasks(3), seed=6, plan=plan)

@@ -1,0 +1,166 @@
+"""Tests for the runtime invariant checker (repro.check), including the
+end-to-end bug-catching drill: seed a protocol bug, watch the checker
+fire, capture the failure, shrink it to a minimal reproducer and replay
+it deterministically."""
+
+import pytest
+
+from conftest import make_svc, small_geometry
+from repro.check import InvariantChecker
+from repro.common.config import CacheGeometry, SVCConfig
+from repro.common.errors import InvariantViolation, ProtocolError
+from repro.faults import FaultPlan
+from repro.hier.task import MemOp, TaskProgram
+from repro.replay import Case, FailureCapture, run_case, shrink_case
+from repro.svc.designs import design_config
+from repro.svc.system import SVCSystem
+
+A = 0x1000
+
+
+class TestBinding:
+    def test_bind_requires_an_event_log(self):
+        system = SVCSystem(design_config("final", SVCConfig(
+            geometry=small_geometry(),
+        )))
+        assert system.event_log is None
+        with pytest.raises(ProtocolError):
+            InvariantChecker().bind(system)
+
+    def test_checker_kwarg_creates_event_log_and_audits(self, svc):
+        assert svc.event_log is not None
+        before = svc.checker.checks  # begin_task events already audited
+        svc.store(0, A, 1)
+        assert svc.checker.checks > before
+
+    def test_no_checker_is_the_default_zero_overhead_path(self):
+        system = SVCSystem(design_config("final", SVCConfig(
+            geometry=small_geometry(),
+        )))
+        assert system.checker is None
+        assert system.event_log is None  # nothing to emit to, nothing runs
+        system.begin_task(0, 0)
+        system.store(0, A, 7)
+        assert system.load(0, A).value == 7
+
+
+class TestDetection:
+    def test_flags_double_exclusivity(self, svc):
+        svc.store(0, A, 1)
+        svc.load(1, A)
+        entries = svc.vcl._entries(A)
+        for line in entries.values():
+            line.exclusive = True  # corrupt: two caches both claim X
+        with pytest.raises(InvariantViolation) as excinfo:
+            svc.checker.check_svc(line_addr=A)
+        assert excinfo.value.invariant == "x-unique"
+
+    def test_first_violation_is_retained_for_capture(self, svc):
+        svc.store(0, A, 1)
+        svc.load(1, A)
+        for line in svc.vcl._entries(A).values():
+            line.exclusive = True
+        with pytest.raises(InvariantViolation):
+            svc.checker.check_svc(line_addr=A)
+        # check_svc() raises directly; on_event is where retention lives
+        assert svc.checker.last_violation is None
+        event = type("E", (), {"kind": "bus", "detail": {"line_addr": A}})
+        with pytest.raises(InvariantViolation):
+            svc.checker.on_event(event)
+        assert svc.checker.last_violation.invariant == "x-unique"
+
+
+class TestTornTransactionScans:
+    """Full-state scans must not observe the middle of a bus
+    transaction: a squash fired mid-window-walk is visible through the
+    event log before the requestor's line is patched."""
+
+    def test_scan_is_deferred_while_a_transaction_is_open(self, svc):
+        svc.store(0, A, 1)
+        checker = svc.checker
+        before = checker.checks
+        svc._in_transaction = True
+        svc.event_log.emit("squash", "test")
+        assert checker._deferred_scan
+        assert checker.checks == before  # torn snapshot not scanned
+        svc._in_transaction = False
+        svc.event_log.emit("squash", "test")
+        assert not checker._deferred_scan
+        assert checker.checks == before + 2  # owed scan + this event's
+
+    def test_line_checks_still_run_mid_transaction(self, svc):
+        svc.store(0, A, 1)
+        before = svc.checker.checks
+        svc._in_transaction = True
+        svc.event_log.emit("bus", "test", line_addr=A)
+        svc._in_transaction = False
+        assert svc.checker.checks == before + 1
+
+
+def seeded_bug_case():
+    """A workload whose VOL gets rebuilt repeatedly — several writers to
+    one line plus a forced mid-chain squash — so a broken repair step is
+    exercised immediately."""
+    tasks = tuple(
+        TaskProgram(ops=[MemOp.store(A, rank + 1), MemOp.load(A)])
+        for rank in range(5)
+    )
+    return Case(
+        design="final",
+        seed=5,
+        tasks=tasks,
+        geometry=CacheGeometry(size_bytes=256, associativity=2, line_size=16),
+        fault_plan=FaultPlan(seed=5, squash_at=((2, 1),)),
+    )
+
+
+def break_vol_repair(monkeypatch):
+    """Seed a protocol bug: the lazy VOL repair closes the pointer chain
+    into a cycle whenever two or more caches share the line."""
+    import repro.svc.vcl as vcl_module
+
+    original = vcl_module.rewrite_pointers
+
+    def cyclic_repair(entries, vol):
+        original(entries, vol)
+        if len(vol) >= 2:
+            entries[vol[-1]].pointer = vol[0]
+
+    monkeypatch.setattr(vcl_module, "rewrite_pointers", cyclic_repair)
+
+
+class TestSeededBugDrill:
+    def test_case_passes_on_the_healthy_protocol(self):
+        result = run_case(seeded_bug_case())
+        assert result.ok, result.describe()
+
+    def test_checker_catches_capture_shrinks_and_replays(
+        self, monkeypatch, tmp_path
+    ):
+        break_vol_repair(monkeypatch)
+        case = seeded_bug_case()
+
+        # 1. The checker catches the seeded bug as a structured violation.
+        result = run_case(case)
+        assert result.signature == ("invariant", "vol-acyclic")
+
+        # 2. Captured to JSON and loaded back intact.
+        path = str(tmp_path / "seeded-bug.json")
+        FailureCapture.from_result(case, result).save(path)
+        capture = FailureCapture.load(path)
+        assert capture.case == case
+
+        # 3. The capture replays deterministically: same signature and
+        #    same diagnostic, twice.
+        first = run_case(capture.case)
+        second = run_case(capture.case)
+        assert first.signature == ("invariant", "vol-acyclic")
+        assert first.error_message == second.error_message
+        assert first.invariant == second.invariant
+
+        # 4. Greedy shrinking yields a <=3-task minimal reproducer that
+        #    still fails the same way.
+        shrunk, shrunk_result = shrink_case(capture.case)
+        assert shrunk_result.signature == ("invariant", "vol-acyclic")
+        assert len(shrunk.tasks) <= 3
+        assert sum(len(t.memory_ops) for t in shrunk.tasks) <= 4

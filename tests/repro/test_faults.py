@@ -1,0 +1,108 @@
+"""Unit tests for the fault-injection subsystem (repro.faults)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.faults import FaultInjector, FaultPlan, random_fault_plan
+
+
+class TestFaultPlan:
+    def test_default_plan_is_noop(self):
+        assert FaultPlan().is_noop
+        assert FaultPlan(seed=99).is_noop  # the seed alone injects nothing
+
+    def test_any_fault_dimension_clears_noop(self):
+        assert not FaultPlan(squash_rate=0.1).is_noop
+        assert not FaultPlan(squash_at=((1, 0),)).is_noop
+        assert not FaultPlan(adversarial_victims=True).is_noop
+        assert not FaultPlan(delayed_writebacks=2).is_noop
+
+    def test_round_trips_through_json_dict(self):
+        plan = FaultPlan(
+            seed=7,
+            squash_rate=0.05,
+            squash_at=((1, 3), (4, 0)),
+            adversarial_victims=True,
+            mispredict_ranks=(2,),
+            mshr_saturation=0.25,
+            bus_saturation=0.1,
+            delayed_writebacks=3,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_rejects_out_of_range_probabilities(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(squash_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(mshr_saturation=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(delayed_writebacks=-1)
+
+    def test_named_rng_streams_are_independent_and_stable(self):
+        plan = FaultPlan(seed=3)
+        a1 = [plan.rng("squash").random() for _ in range(3)]
+        a2 = [plan.rng("squash").random() for _ in range(3)]
+        b = [plan.rng("victims:0").random() for _ in range(3)]
+        assert a1 == a2  # same stream name -> same sequence
+        assert a1 != b  # different consumers never share a stream
+
+    def test_weakenings_each_drop_exactly_one_dimension(self):
+        plan = FaultPlan(
+            squash_rate=0.1,
+            squash_at=((1, 0), (2, 5)),
+            adversarial_victims=True,
+            delayed_writebacks=2,
+        )
+        weaker = plan.weakenings()
+        # one per scalar dimension plus one per forced squash entry
+        assert len(weaker) == 5
+        for variant in weaker:
+            assert variant != plan
+
+    def test_noop_plan_has_no_weakenings(self):
+        assert FaultPlan().weakenings() == []
+
+    def test_drop_rank_removes_and_shifts(self):
+        plan = FaultPlan(
+            squash_at=((0, 1), (2, 4), (3, 0)),
+            mispredict_ranks=(2, 5),
+        )
+        dropped = plan.drop_rank(2)
+        assert dropped.squash_at == ((0, 1), (2, 0))
+        assert dropped.mispredict_ranks == (4,)
+
+
+class TestFaultInjector:
+    def test_forced_squash_fires_exactly_once(self):
+        injector = FaultInjector(FaultPlan(squash_at=((1, 2),)))
+        assert not injector.forced_squash(1, 1)
+        assert injector.forced_squash(1, 2)
+        assert not injector.forced_squash(1, 2)  # one-shot
+
+    def test_random_squash_rate_zero_never_fires(self):
+        injector = FaultInjector(FaultPlan(squash_rate=0.0))
+        assert not any(injector.wants_random_squash() for _ in range(50))
+
+    def test_random_squash_stream_is_reproducible(self):
+        plan = FaultPlan(seed=11, squash_rate=0.3)
+        draws1 = [FaultInjector(plan).wants_random_squash() for _ in range(1)]
+        draws2 = [FaultInjector(plan).wants_random_squash() for _ in range(1)]
+        assert draws1 == draws2
+
+
+class TestRandomFaultPlan:
+    def test_is_reproducible(self):
+        assert random_fault_plan(5, 8, 6) == random_fault_plan(5, 8, 6)
+
+    def test_allow_squashes_false_yields_no_squashes(self):
+        # The EC design assumes no squashes (paper section 3.4).
+        for seed in range(30):
+            plan = random_fault_plan(seed, 8, 6, allow_squashes=False)
+            assert plan.squash_rate == 0.0
+            assert plan.squash_at == ()
+
+    def test_forced_squashes_never_target_rank_zero(self):
+        # Rank 0 starts as the non-speculative head; plans aim elsewhere.
+        for seed in range(30):
+            plan = random_fault_plan(seed, 8, 6)
+            assert all(rank >= 1 for rank, _ in plan.squash_at)

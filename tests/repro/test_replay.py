@@ -1,0 +1,154 @@
+"""Unit tests for deterministic capture, replay and shrinking
+(repro.replay)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import ReproError
+from repro.faults import FaultPlan
+from repro.hier.task import MemOp, TaskProgram
+from repro.replay import (
+    CASE_DESIGNS,
+    Case,
+    CaseResult,
+    FailureCapture,
+    _drop_op,
+    _shrink_candidates,
+    run_case,
+    shrink_case,
+)
+
+A = 0x1000
+
+
+def simple_tasks():
+    return (
+        TaskProgram(ops=[MemOp.store(A, 7), MemOp.load(A)]),
+        TaskProgram(ops=[MemOp.load(A), MemOp.store(A + 4, 9)]),
+    )
+
+
+class TestCase:
+    def test_rejects_unknown_design(self):
+        with pytest.raises(ReproError):
+            Case(design="mystery")
+
+    def test_round_trips_through_json_dict(self):
+        case = Case(
+            design="ecs",
+            seed=42,
+            tasks=simple_tasks(),
+            geometry=CacheGeometry(size_bytes=256, associativity=2, line_size=16),
+            squash_probability=0.1,
+            fault_plan=FaultPlan(seed=42, squash_at=((1, 0),)),
+        )
+        rebuilt = Case.from_dict(case.to_dict())
+        assert rebuilt == case
+
+    def test_op_dependencies_survive_round_trip(self):
+        task = TaskProgram(
+            ops=[
+                MemOp.load(A),
+                MemOp.store(A + 4, 0, value_deps=(0,)),
+            ]
+        )
+        case = Case(tasks=(task,))
+        rebuilt = Case.from_dict(case.to_dict())
+        assert rebuilt.tasks[0].ops[1].value_deps == (0,)
+
+
+class TestRunCase:
+    @pytest.mark.parametrize("design", CASE_DESIGNS)
+    def test_clean_case_passes_on_every_design(self, design):
+        result = run_case(Case(design=design, seed=1, tasks=simple_tasks()))
+        assert result.ok, result.describe()
+
+    def test_is_deterministic(self):
+        case = Case(
+            design="final",
+            seed=9,
+            tasks=simple_tasks(),
+            fault_plan=FaultPlan(seed=9, squash_at=((1, 1),)),
+        )
+        first = run_case(case)
+        second = run_case(case)
+        assert first.ok and second.ok
+        assert first.report.load_values == second.report.load_values
+
+    def test_passing_case_has_no_signature(self):
+        result = run_case(Case(tasks=simple_tasks()))
+        assert result.signature is None
+
+
+class TestFailureCapture:
+    def failing_result(self):
+        return CaseResult(
+            ok=False,
+            error_kind="invariant",
+            error_type="InvariantViolation",
+            error_message="[x-unique] two suppliers",
+            invariant={"invariant": "x-unique", "message": "two suppliers"},
+        )
+
+    def test_refuses_passing_case(self):
+        with pytest.raises(ReproError):
+            FailureCapture.from_result(Case(), CaseResult(ok=True))
+
+    def test_save_load_round_trip(self, tmp_path):
+        case = Case(design="rl", seed=3, tasks=simple_tasks())
+        capture = FailureCapture.from_result(case, self.failing_result())
+        path = str(tmp_path / "capture.json")
+        capture.save(path)
+        loaded = FailureCapture.load(path)
+        assert loaded.case == case
+        assert loaded.signature == ("invariant", "x-unique")
+        assert loaded.failure["message"] == "[x-unique] two suppliers"
+
+    def test_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ReproError):
+            FailureCapture.from_dict({"format": 999, "case": {}, "failure": {}})
+
+
+class TestShrink:
+    """Shrink mechanics on the pure helpers; the full capture-shrink-
+    replay loop on a live protocol bug is exercised in test_checker.py."""
+
+    def test_shrink_requires_a_failing_case(self):
+        with pytest.raises(ReproError):
+            shrink_case(Case(tasks=simple_tasks()))
+
+    def test_drop_op_reindexes_dependencies(self):
+        task = TaskProgram(
+            ops=[
+                MemOp.load(A),
+                MemOp.load(A + 4),
+                MemOp.store(A + 8, 0, value_deps=(0, 1)),
+            ]
+        )
+        trimmed = _drop_op(task, 0)
+        # Op 0 is gone: the dependency on it vanishes and the dependency
+        # on old op 1 (now op 0) shifts down.
+        assert len(trimmed.ops) == 2
+        assert trimmed.ops[1].value_deps == (0,)
+
+    def test_candidates_cover_tasks_ops_and_faults(self):
+        case = Case(
+            tasks=simple_tasks(),
+            fault_plan=FaultPlan(squash_rate=0.1),
+        )
+        labels = [label for label, _ in _shrink_candidates(case)]
+        assert "drop task 1" in labels
+        assert any(label.startswith("drop task 0 op") for label in labels)
+        assert "weaken faults" in labels
+
+    def test_dropping_a_task_shifts_fault_plan_ranks(self):
+        case = Case(
+            tasks=simple_tasks() + simple_tasks(),
+            fault_plan=FaultPlan(squash_at=((1, 0), (3, 1))),
+        )
+        by_label = dict(_shrink_candidates(case))
+        shrunk = by_label["drop task 1"]
+        assert len(shrunk.tasks) == 3
+        assert shrunk.fault_plan.squash_at == ((2, 1),)

@@ -25,13 +25,17 @@ def test_quickstart():
     assert "memory[A] = 111" in out
 
 
-def test_protocol_walkthrough_covers_all_figures():
-    out = run_example("protocol_walkthrough.py")
+@pytest.mark.parametrize("checker_args", [(), ("--no-checker",)],
+                         ids=["checker", "no-checker"])
+def test_protocol_walkthrough_covers_all_figures(checker_args):
+    out = run_example("protocol_walkthrough.py", *checker_args)
     for figure in ("Figure 8", "Figure 9", "Figures 12/13", "Figures 14/15",
                    "Figure 17"):
         assert figure in out
     assert "local reuse, no bus" in out     # Fig 14/15 time line 1
     assert "bus request" in out             # Fig 14/15 time line 2
+    audited = "audited by the runtime invariant checker" in out
+    assert audited == (not checker_args)
 
 
 def test_dependence_violation_story():

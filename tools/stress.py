@@ -1,19 +1,23 @@
-"""Randomized oracle stress of the SVC (all designs) and the ARB.
+"""Randomized oracle + invariant stress of the SVC (all designs) and ARB.
 
 Development tool complementing the hypothesis suite: wider seed sweeps,
-run from the shell. Usage: python tools/stress.py [seeds] [--hard]
+run from the shell, with optional fault injection. Every run is a
+:class:`repro.replay.Case`; the first failure is saved as a
+FailureCapture JSON that ``python -m repro replay <path> --shrink``
+reproduces and minimizes. Usage::
+
+    python tools/stress.py --seeds 200 --faults
+    python tools/stress.py --seeds 50 --designs final,arb --hard
 """
 
-import dataclasses
+import argparse
 import random
 import sys
 
-from repro.common.config import CacheGeometry, SVCConfig, UpdatePolicy, SVCFeatures
-from repro.hier.driver import SpeculativeExecutionDriver
+from repro.common.config import CacheGeometry
+from repro.faults import FaultPlan, random_fault_plan
 from repro.hier.task import MemOp, TaskProgram
-from repro.oracle.sequential import SequentialOracle, verify_run
-from repro.svc.designs import design_config
-from repro.svc.system import SVCSystem
+from repro.replay import CASE_DESIGNS, Case, FailureCapture, run_case
 
 
 def random_tasks(rng, n_tasks, max_ops, n_addrs, base=0x1000, sizes=(4,), stride=4):
@@ -35,23 +39,7 @@ def random_tasks(rng, n_tasks, max_ops, n_addrs, base=0x1000, sizes=(4,), stride
     return tasks
 
 
-def make_system(design, geometry):
-    if design == "arb":
-        from repro.arb.system import ARBSystem
-        from repro.common.config import ARBConfig, CacheGeometry as CG
-        config = ARBConfig(
-            n_rows=32,
-            cache_geometry=CG(size_bytes=256, associativity=1, line_size=16),
-        )
-        return ARBSystem(config)
-    config = design_config(design, SVCConfig(
-        geometry=geometry,
-        check_invariants=True,
-    ))
-    return SVCSystem(config)
-
-
-def run_one(seed, design, squash_p, hard=False):
+def build_case(seed, design, squash_p, hard=False, faults=False):
     rng = random.Random(seed)
     if hard:
         # Conflict-heavy: tiny 2-way cache, strided addresses mapping to
@@ -74,39 +62,105 @@ def run_one(seed, design, squash_p, hard=False):
             n_addrs=rng.randint(1, 6),
         )
         geometry = CacheGeometry(size_bytes=256, associativity=2, line_size=16)
-    system = make_system(design, geometry)
-    driver = SpeculativeExecutionDriver(
-        system, tasks, seed=seed, squash_probability=squash_p
+    if faults:
+        plan = random_fault_plan(
+            seed, len(tasks), 8, allow_squashes=(design != "ec")
+        )
+    else:
+        plan = FaultPlan()
+    return Case(
+        design=design,
+        seed=seed,
+        tasks=tuple(tasks),
+        geometry=geometry,
+        squash_probability=squash_p,
+        fault_plan=plan,
     )
-    report = driver.run()
-    oracle = SequentialOracle().run(tasks)
-    problems = verify_run(report, oracle, system.memory)
-    if problems:
-        print(f"seed={seed} design={design} squash_p={squash_p}")
-        for task_idx, t in enumerate(tasks):
-            print(f"  task {task_idx}: {[ (o.kind,hex(o.addr),o.value) for o in t.memory_ops]}")
-        for p in problems:
-            print("  PROBLEM:", p)
-        return False
-    return True
 
 
-def main():
-    designs = ["base", "ec", "ecs", "hr", "rl", "final", "arb"]
-    hard = "--hard" in sys.argv
-    seeds = int(sys.argv[1]) if len(sys.argv) > 1 and sys.argv[1].isdigit() else 300
-    fails = 0
-    for seed in range(seeds):
+def build_parser():
+    parser = argparse.ArgumentParser(
+        description="Randomized stress sweep over all designs, verifying "
+        "every run against the sequential oracle with the protocol "
+        "invariant checker attached."
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=300, help="seeds to sweep (default 300)"
+    )
+    parser.add_argument(
+        "--designs",
+        default=",".join(CASE_DESIGNS),
+        help=f"comma-separated designs (default {','.join(CASE_DESIGNS)})",
+    )
+    parser.add_argument(
+        "--hard",
+        action="store_true",
+        help="conflict-heavy workloads: tiny caches, strided addresses, "
+        "byte accesses, long task lists",
+    )
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="drive each case with a seeded random fault plan (injected "
+        "squashes, adversarial victim choice, delayed writebacks)",
+    )
+    parser.add_argument(
+        "--capture-dir",
+        default="failures",
+        help="directory for the failure capture written on the first "
+        "failing case (default: failures/)",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=1,
+        help="stop after this many failing cases (default 1)",
+    )
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    unknown = [d for d in designs if d not in CASE_DESIGNS]
+    if unknown:
+        print(f"unknown designs: {unknown}; choose from {CASE_DESIGNS}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    cases = 0
+    for seed in range(args.seeds):
         for design in designs:
             for squash_p in (0.0, 0.1):
                 if design == "ec" and squash_p > 0:
                     continue  # EC design assumes no squashes
-                if not run_one(seed, design, squash_p, hard=hard):
-                    fails += 1
-                    if fails > 3:
-                        return 1
-    print("ok" if fails == 0 else f"{fails} failures")
-    return 1 if fails else 0
+                case = build_case(
+                    seed, design, squash_p, hard=args.hard, faults=args.faults
+                )
+                cases += 1
+                result = run_case(case)
+                if result.ok:
+                    continue
+                failures += 1
+                print(f"FAIL {case.describe()}")
+                print(f"  {result.describe()}")
+                capture = FailureCapture.from_result(case, result)
+                path = (
+                    f"{args.capture_dir}/stress-{design}-seed{seed}"
+                    f"-p{squash_p}.json"
+                )
+                capture.save(path)
+                print(f"  capture: {path}")
+                print(f"  replay:  python -m repro replay {path} --shrink")
+                if failures >= args.max_failures:
+                    print(f"stopping after {failures} failure(s), "
+                          f"{cases} cases run")
+                    return 1
+    print(f"ok: {cases} cases across {len(designs)} designs, "
+          f"{args.seeds} seeds"
+          + (" (hard)" if args.hard else "")
+          + (" (faults)" if args.faults else ""))
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
