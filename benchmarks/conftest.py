@@ -4,6 +4,9 @@ Each bench module accumulates its measured points in the registry; at
 session end the paper-style tables/series are printed and written to
 ``benchmarks/results/``. ``REPRO_SCALE`` (default 0.35 here) scales the
 synthetic workloads; raise it toward 1.0+ for steadier statistics.
+``REPRO_WORKERS`` fans each experiment's points across that many worker
+processes (``0`` = one per CPU) — results are identical to serial runs,
+see :mod:`repro.harness.parallel`.
 """
 
 import os

@@ -46,12 +46,24 @@ class ARBRow:
 
     word_addr: int
     entries: Dict[int, ARBEntry] = field(default_factory=dict)
+    #: Allocation sequence stamp: rows_of_rank() iterates in this order,
+    #: which is exactly the buffer dict's insertion order, so per-rank
+    #: indexed walks drain stores in the same order a full scan would.
+    seq: int = 0
+    #: Owning buffer, when allocated through one; lets entry_for keep
+    #: the buffer's rank -> rows index current. Standalone rows (tests)
+    #: have no owner and need no index.
+    owner: Optional["AddressResolutionBuffer"] = field(
+        default=None, repr=False, compare=False
+    )
 
     def entry_for(self, rank: int) -> ARBEntry:
         entry = self.entries.get(rank)
         if entry is None:
             entry = ARBEntry()
             self.entries[rank] = entry
+            if self.owner is not None:
+                self.owner._note_rank_row(rank, self.word_addr)
         return entry
 
     @property
@@ -67,6 +79,18 @@ class AddressResolutionBuffer:
             raise ConfigError("ARB needs at least one row")
         self.n_rows = n_rows
         self._rows: Dict[int, ARBRow] = {}
+        self._alloc_seq = 0
+        #: rank -> word addresses of rows holding an entry for that rank.
+        #: Lets commits and squashes visit only the rows a task touched
+        #: instead of scanning the whole buffer.
+        self._rank_rows: Dict[int, set] = {}
+
+    def _note_rank_row(self, rank: int, word_addr: int) -> None:
+        rows = self._rank_rows.get(rank)
+        if rows is None:
+            rows = set()
+            self._rank_rows[rank] = rows
+        rows.add(word_addr)
 
     def lookup(self, word_addr: int) -> Optional[ARBRow]:
         return self._rows.get(word_addr)
@@ -79,9 +103,28 @@ class AddressResolutionBuffer:
             return row
         if len(self._rows) >= self.n_rows:
             return None
-        row = ARBRow(word_addr=word_addr)
+        row = ARBRow(word_addr=word_addr, seq=self._alloc_seq, owner=self)
+        self._alloc_seq += 1
         self._rows[word_addr] = row
         return row
+
+    def rows_of_rank(self, rank: int) -> List[ARBRow]:
+        """Rows currently holding an entry for ``rank``, in allocation
+        order (identical to the order a full :meth:`rows` scan yields)."""
+        addrs = self._rank_rows.get(rank)
+        if not addrs:
+            return []
+        rows = []
+        for word_addr in addrs:
+            row = self._rows.get(word_addr)
+            if row is not None and rank in row.entries:
+                rows.append(row)
+        rows.sort(key=lambda row: row.seq)
+        return rows
+
+    def drop_rank_index(self, rank: int) -> None:
+        """Forget the per-rank row index (the rank is fully retired)."""
+        self._rank_rows.pop(rank, None)
 
     def release_if_empty(self, word_addr: int) -> None:
         row = self._rows.get(word_addr)
@@ -96,8 +139,13 @@ class AddressResolutionBuffer:
 
     def clear_rank(self, rank: int) -> None:
         """Drop one task's entries from every row (squash epilogue)."""
-        for word_addr in list(self._rows):
-            row = self._rows[word_addr]
+        addrs = self._rank_rows.pop(rank, None)
+        if not addrs:
+            return
+        for word_addr in addrs:
+            row = self._rows.get(word_addr)
+            if row is None:
+                continue
             row.entries.pop(rank, None)
             if not row.entries:
                 del self._rows[word_addr]

@@ -128,10 +128,10 @@ class ARBSystem:
             )
         self.stats.add("commits")
         drained = 0
-        for row in self.buffer.rows():
-            entry = row.entries.get(rank)
-            if entry is None:
-                continue
+        # Indexed walk: only the rows this rank touched, in the same
+        # allocation order a full buffer scan would visit them.
+        for row in self.buffer.rows_of_rank(rank):
+            entry = row.entries[rank]
             if entry.store_mask:
                 for offset in range(WORD_SIZE):
                     if entry.store_mask & (1 << offset):
@@ -142,6 +142,7 @@ class ARBSystem:
                 drained += 1
             row.entries.pop(rank, None)
             self.buffer.release_if_empty(row.word_addr)
+        self.buffer.drop_rank_index(rank)
         self.stats.add("commit_stores_drained", drained)
         self._task_of_unit[unit] = None
         self._committed_through = rank
@@ -225,15 +226,17 @@ class ARBSystem:
             entry = row.entry_for(rank)
             entry.load_mask |= mask & ~entry.store_mask
 
-            older = sorted(
-                (r for r in row.entries if r <= rank), reverse=True
-            )
+            older = [
+                row.entries[r]
+                for r in sorted(
+                    (r for r in row.entries if r <= rank), reverse=True
+                )
+            ]
             missing = []
             for i in range(size):
                 byte_off = offset + i
                 bit = 1 << byte_off
-                for r in older:
-                    candidate = row.entries[r]
+                for candidate in older:
                     if candidate.store_mask & bit:
                         value_bytes[i] = candidate.data[byte_off]
                         break

@@ -131,16 +131,30 @@ class InvariantChecker:
         if line_addr is not None:
             self._svc_line(system, line_addr)
             return
-        addresses = set()
-        for cache in system.caches:
-            for addr, _line in cache.lines():
-                addresses.add(addr)
-        for addr in sorted(addresses):
+        directory = getattr(system, "directory", None)
+        if directory is not None:
+            # RealityCheck-style differential audit: the fast path (the
+            # incremental directory) is re-derived from the slow path
+            # (a full array scan) before any check relies on it.
+            try:
+                directory.audit(system.caches)
+            except ProtocolError as exc:
+                self._fail("directory-agreement", str(exc))
+            addresses = directory.addresses()
+        else:
+            addresses = sorted(
+                {addr for cache in system.caches for addr, _line in cache.lines()}
+            )
+        for addr in addresses:
             self._svc_line(system, addr)
 
     def _svc_task_assignment(self, system) -> None:
         """One task per cache, one cache per rank, ranks after the
         committed prefix (paper section 2.1's task sequence)."""
+        try:
+            system._audit_task_maps()
+        except ProtocolError as exc:
+            self._fail("task-map-agreement", str(exc))
         ranks = system.current_ranks()
         seen: Dict[int, int] = {}
         for cache_id, rank in ranks.items():

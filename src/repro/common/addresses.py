@@ -51,28 +51,50 @@ class AddressMap:
                 f"versioning_block_size ({self.versioning_block_size}) exceeds "
                 f"line_size ({self.line_size})"
             )
+        # Address math runs on every single access, so the derived
+        # constants and the mask -> block-list expansion are precomputed
+        # once here (object.__setattr__ because the dataclass is frozen;
+        # none of these participate in eq/hash, which stay field-based).
+        object.__setattr__(self, "_offset_mask", self.line_size - 1)
+        object.__setattr__(self, "_line_mask", ~(self.line_size - 1))
+        object.__setattr__(
+            self, "_block_shift", self.versioning_block_size.bit_length() - 1
+        )
+        blocks = self.line_size // self.versioning_block_size
+        object.__setattr__(self, "_blocks_per_line", blocks)
+        object.__setattr__(self, "_full_mask", (1 << blocks) - 1)
+        object.__setattr__(
+            self,
+            "_mask_blocks",
+            [
+                [b for b in range(blocks) if mask & (1 << b)]
+                for mask in range(1 << blocks)
+            ]
+            if blocks <= 8
+            else None,
+        )
 
     @property
     def blocks_per_line(self) -> int:
         """Number of versioning blocks in one line."""
-        return self.line_size // self.versioning_block_size
+        return self._blocks_per_line
 
     @property
     def full_mask(self) -> int:
         """Bitmask with one bit set per versioning block."""
-        return (1 << self.blocks_per_line) - 1
+        return self._full_mask
 
     def line_address(self, addr: int) -> int:
         """Byte address of the first byte of the line containing ``addr``."""
-        return addr & ~(self.line_size - 1)
+        return addr & self._line_mask
 
     def line_offset(self, addr: int) -> int:
         """Byte offset of ``addr`` within its line."""
-        return addr & (self.line_size - 1)
+        return addr & self._offset_mask
 
     def block_index(self, addr: int) -> int:
         """Versioning-block index of ``addr`` within its line."""
-        return self.line_offset(addr) // self.versioning_block_size
+        return (addr & self._offset_mask) >> self._block_shift
 
     def block_mask(self, addr: int, size: int) -> int:
         """Bitmask of the versioning blocks touched by an access.
@@ -89,10 +111,7 @@ class AddressMap:
             raise ConfigError(
                 f"access at {addr:#x} size {size} straddles a line boundary"
             )
-        mask = 0
-        for block in range(first, last + 1):
-            mask |= 1 << block
-        return mask
+        return ((1 << (last + 1)) - 1) ^ ((1 << first) - 1)
 
     def full_cover_mask(self, addr: int, size: int) -> int:
         """Bitmask of the versioning blocks an access covers *entirely*
@@ -106,8 +125,15 @@ class AddressMap:
         return mask
 
     def blocks_in_mask(self, mask: int) -> list:
-        """Indices of the versioning blocks named by ``mask``."""
-        return [b for b in range(self.blocks_per_line) if mask & (1 << b)]
+        """Indices of the versioning blocks named by ``mask``.
+
+        Precomputed for every possible mask on typical geometries (up to
+        8 blocks per line); callers must treat the result as read-only.
+        """
+        table = self._mask_blocks
+        if table is not None:
+            return table[mask & self._full_mask]
+        return [b for b in range(self._blocks_per_line) if mask & (1 << b)]
 
     def byte_range_of_block(self, line_addr: int, block: int) -> range:
         """Byte addresses covered by versioning block ``block`` of a line."""

@@ -39,10 +39,16 @@ class CacheGeometry:
 
     @property
     def address_map(self) -> AddressMap:
-        return AddressMap(
-            line_size=self.line_size,
-            versioning_block_size=self.versioning_block_size,
-        )
+        # Memoized: some callers fetch this per access, and AddressMap
+        # precomputes lookup tables at construction.
+        cached = getattr(self, "_amap_cache", None)
+        if cached is None:
+            cached = AddressMap(
+                line_size=self.line_size,
+                versioning_block_size=self.versioning_block_size,
+            )
+            object.__setattr__(self, "_amap_cache", cached)
+        return cached
 
     def set_index(self, line_addr: int) -> int:
         """Set index of a line address (direct-mapped when n_sets==1 ways)."""
@@ -165,6 +171,11 @@ class SVCConfig:
     mshr_combining: int = 4
     writeback_buffer_entries: int = 8
     check_invariants: bool = False
+    #: Maintain the line-granular version directory (repro.svc.directory)
+    #: so snoops resolve in O(holders) instead of scanning every cache.
+    #: Off = the seed's brute-force scans; behaviour must be identical
+    #: either way (enforced by repro.harness.differential).
+    use_directory: bool = True
 
     def __post_init__(self) -> None:
         if self.n_caches < 2:

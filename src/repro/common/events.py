@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProtocolEvent:
     """One observable protocol action.
 
@@ -48,6 +48,9 @@ class EventLog:
     def __init__(self) -> None:
         self._events: List[ProtocolEvent] = []
         self._observers: List[Callable[[ProtocolEvent], None]] = []
+        #: Per-kind index so of_kind/last stop re-scanning the whole log
+        #: on every worked-example assertion.
+        self._by_kind: Dict[str, List[ProtocolEvent]] = {}
 
     def attach(self, observer: Callable[[ProtocolEvent], None]) -> None:
         """Register an observer called with every event as it is emitted.
@@ -67,6 +70,11 @@ class EventLog:
     def emit(self, kind: str, source: str, **detail: Any) -> None:
         event = ProtocolEvent(kind=kind, source=source, detail=detail)
         self._events.append(event)
+        index = self._by_kind.get(kind)
+        if index is None:
+            self._by_kind[kind] = [event]
+        else:
+            index.append(event)
         for observer in self._observers:
             observer(event)
 
@@ -77,18 +85,17 @@ class EventLog:
         return iter(self._events)
 
     def of_kind(self, kind: str) -> List[ProtocolEvent]:
-        return [e for e in self._events if e.kind == kind]
+        return list(self._by_kind.get(kind, ()))
 
     def last(self, kind: Optional[str] = None) -> Optional[ProtocolEvent]:
         if kind is None:
             return self._events[-1] if self._events else None
-        for event in reversed(self._events):
-            if event.kind == kind:
-                return event
-        return None
+        index = self._by_kind.get(kind)
+        return index[-1] if index else None
 
     def clear(self) -> None:
         self._events.clear()
+        self._by_kind.clear()
 
     def describe(self) -> str:
         """Multi-line rendering of the whole log."""

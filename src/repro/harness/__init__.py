@@ -7,6 +7,7 @@ result objects; :mod:`repro.harness.reporting` renders them in the shape
 the paper prints (rows for tables, per-benchmark series for figures).
 """
 
+from repro.harness.parallel import PointSpec, resolve_workers, run_points
 from repro.harness.experiments import (
     EXPERIMENTS,
     run_ablation_designs,
@@ -22,8 +23,11 @@ from repro.harness.reporting import format_series, format_table
 
 __all__ = [
     "EXPERIMENTS",
+    "PointSpec",
     "format_series",
     "format_table",
+    "resolve_workers",
+    "run_points",
     "run_ablation_designs",
     "run_ablation_linesize",
     "run_ablation_scaling",

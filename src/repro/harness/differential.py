@@ -1,0 +1,227 @@
+"""Differential oracle for the version directory fast path.
+
+The line-granular :class:`repro.svc.directory.VersionDirectory` exists
+purely to make snoop resolution O(holders) instead of O(caches x ways);
+it must never change *observable* behaviour. This module enforces that
+the hard way: run the same seeded workload twice on the same design
+tier — directory on (``SVCConfig.use_directory=True``, the default) and
+off (the seed's brute-force scans) — and demand byte-identical
+
+* protocol event streams (every bus transaction, squash, commit, VOL
+  repair, in order, with identical payloads),
+* statistics snapshots,
+* committed load values per task, and
+* final drained main-memory images.
+
+Workloads, schedules and fault plans are all seeded, so both runs make
+exactly the same decisions; the only degree of freedom left is the
+directory itself. Any divergence is a directory bug by construction.
+
+Used by the hypothesis property test
+(``tests/integration/test_property_differential.py``) across all six
+design tiers with fault injection on, and runnable standalone::
+
+    PYTHONPATH=src python -m repro.harness.differential --seeds 10 --faults
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import SVCConfig
+from repro.common.events import EventLog
+from repro.faults import FaultPlan
+from repro.hier.driver import SpeculativeExecutionDriver
+from repro.hier.task import TaskProgram
+from repro.mem.main_memory import MainMemory
+from repro.svc.designs import DESIGNS, design_config
+from repro.svc.system import SVCSystem
+from repro.workloads.generator import WorkloadSpec, generate_tasks
+
+#: Every design tier of the paper's section-3 progression.
+TIERS: Tuple[str, ...] = tuple(DESIGNS)
+
+
+class DifferentialMismatch(AssertionError):
+    """Directory-on and directory-off runs diverged."""
+
+
+@dataclass
+class RunObservation:
+    """Everything observable about one functional run."""
+
+    events: Tuple
+    stats: Dict[str, int]
+    image: Dict[int, int]
+    load_values: List[List[int]]
+    violation_squashes: int
+    injected_squashes: int
+
+
+def observe_run(
+    config: SVCConfig,
+    tasks: List[TaskProgram],
+    seed: int = 0,
+    schedule: str = "random",
+    squash_probability: float = 0.0,
+    fault_plan: Optional[FaultPlan] = None,
+) -> RunObservation:
+    """One driver run over a fresh system, with every observable captured."""
+    memory = MainMemory(config.miss_penalty_cycles)
+    log = EventLog()
+    system = SVCSystem(config, memory=memory, event_log=log)
+    driver = SpeculativeExecutionDriver(
+        system,
+        tasks,
+        seed=seed,
+        schedule=schedule,
+        squash_probability=squash_probability,
+        fault_plan=fault_plan,
+    )
+    report = driver.run()
+    return RunObservation(
+        events=tuple(log),
+        stats=system.stats.snapshot(),
+        image=memory.image(),
+        load_values=report.load_values,
+        violation_squashes=report.violation_squashes,
+        injected_squashes=report.injected_squashes,
+    )
+
+
+def _first_event_divergence(on: Tuple, off: Tuple) -> str:
+    for i, (a, b) in enumerate(zip(on, off)):
+        if a != b:
+            return f"event {i}: directory-on {a} != directory-off {b}"
+    return (
+        f"event stream lengths differ: directory-on {len(on)} "
+        f"!= directory-off {len(off)}"
+    )
+
+
+def compare_directory_modes(
+    tier: str,
+    tasks: List[TaskProgram],
+    seed: int = 0,
+    schedule: str = "random",
+    squash_probability: float = 0.0,
+    fault_plan: Optional[FaultPlan] = None,
+    base_config: Optional[SVCConfig] = None,
+) -> List[str]:
+    """Run one tier both ways; return human-readable mismatches (empty = ok)."""
+    config = design_config(tier, base_config or SVCConfig.paper_32kb())
+    kwargs = dict(
+        seed=seed,
+        schedule=schedule,
+        squash_probability=squash_probability,
+        fault_plan=fault_plan,
+    )
+    on = observe_run(replace(config, use_directory=True), tasks, **kwargs)
+    off = observe_run(replace(config, use_directory=False), tasks, **kwargs)
+
+    mismatches: List[str] = []
+    if on.events != off.events:
+        mismatches.append(_first_event_divergence(on.events, off.events))
+    if on.stats != off.stats:
+        diff = {
+            key: (on.stats.get(key, 0), off.stats.get(key, 0))
+            for key in set(on.stats) | set(off.stats)
+            if on.stats.get(key, 0) != off.stats.get(key, 0)
+        }
+        mismatches.append(f"stats diverged (on, off): {diff}")
+    if on.load_values != off.load_values:
+        mismatches.append("committed load values diverged")
+    if on.image != off.image:
+        mismatches.append("final memory images diverged")
+    if (on.violation_squashes, on.injected_squashes) != (
+        off.violation_squashes,
+        off.injected_squashes,
+    ):
+        mismatches.append(
+            f"squash counts diverged: on ({on.violation_squashes}, "
+            f"{on.injected_squashes}) != off ({off.violation_squashes}, "
+            f"{off.injected_squashes})"
+        )
+    return mismatches
+
+
+def differential_workload(
+    seed: int, n_tasks: int = 24, ops_per_task: int = 12
+) -> List[TaskProgram]:
+    """A small, sharing-heavy seeded workload sized to force evictions,
+    snarfs and violations even on the 8KB configuration."""
+    spec = WorkloadSpec(
+        name=f"differential-{seed}",
+        n_tasks=n_tasks,
+        ops_per_task_mean=ops_per_task,
+        memory_fraction=0.6,
+        store_fraction=0.45,
+        working_set_bytes=2 * 1024,
+        shared_bytes=512,
+        read_only_bytes=512,
+        p_shared=0.3,
+        p_private=0.3,
+        p_read_only=0.1,
+        spatial_run=4,
+        seed=seed,
+    )
+    return generate_tasks(spec)
+
+
+def check_tier(
+    tier: str,
+    seed: int,
+    with_faults: bool = False,
+    schedule: str = "random",
+) -> None:
+    """Raise :class:`DifferentialMismatch` if the directory is visible."""
+    tasks = differential_workload(seed)
+    # The EC design assumes no squashes (paper section 3.4).
+    allow_squashes = tier != "ec"
+    fault_plan = None
+    if with_faults:
+        from repro.faults import random_fault_plan
+
+        fault_plan = random_fault_plan(
+            seed, len(tasks), 12, allow_squashes=allow_squashes
+        )
+    mismatches = compare_directory_modes(
+        tier,
+        tasks,
+        seed=seed,
+        squash_probability=0.02 if allow_squashes else 0.0,
+        fault_plan=fault_plan,
+        schedule=schedule,
+    )
+    if mismatches:
+        raise DifferentialMismatch(
+            f"tier {tier!r}, seed {seed}: directory changed observable "
+            "behaviour:\n  " + "\n  ".join(mismatches)
+        )
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Differential check: version directory on vs off."
+    )
+    parser.add_argument("--seeds", type=int, default=5, help="seeds per tier")
+    parser.add_argument(
+        "--faults", action="store_true", help="attach random fault plans"
+    )
+    parser.add_argument(
+        "--tiers", default=",".join(TIERS), help="comma-separated tier subset"
+    )
+    args = parser.parse_args(argv)
+    tiers = tuple(t for t in args.tiers.split(",") if t)
+    for tier in tiers:
+        for seed in range(args.seeds):
+            check_tier(tier, seed, with_faults=args.faults)
+        print(f"{tier}: {args.seeds} seeds identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

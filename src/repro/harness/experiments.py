@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.arb.system import ARBSystem
 from repro.common.config import ARBConfig, SVCConfig, UpdatePolicy
+from repro.harness.parallel import PointSpec, run_points
 from repro.svc.designs import design_config, final_design
 from repro.svc.system import SVCSystem
 from repro.timing.simulator import TimingReport, TimingSimulator
@@ -114,32 +115,40 @@ def _to_result(benchmark: str, machine: str, report: TimingReport) -> BenchmarkR
 
 
 def run_table2(
-    benchmarks=BENCHMARKS, scale: Optional[float] = None
+    benchmarks=BENCHMARKS,
+    scale: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Table 2: miss ratios, ARB/32KB vs SVC 4x8KB."""
     result = ExperimentResult(experiment="table2", paper=PAPER_TABLE2)
+    specs = []
     for name in benchmarks:
-        result.points.append(
-            _run_arb(name, "arb_32k", ARBConfig.paper_32kb(hit_cycles=1), scale)
+        specs.append(
+            PointSpec(name, "arb_32k", "arb", ARBConfig.paper_32kb(hit_cycles=1), scale)
         )
-        result.points.append(
-            _run_svc(name, "svc_4x8k", final_design(SVCConfig.paper_32kb()), scale)
+        specs.append(
+            PointSpec(name, "svc_4x8k", "svc", final_design(SVCConfig.paper_32kb()), scale)
         )
+    result.points.extend(run_points(specs, workers))
     return result
 
 
 def run_table3(
-    benchmarks=BENCHMARKS, scale: Optional[float] = None
+    benchmarks=BENCHMARKS,
+    scale: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Table 3: SVC snooping-bus utilization at 4x8KB and 4x16KB."""
     result = ExperimentResult(experiment="table3", paper=PAPER_TABLE3)
+    specs = []
     for name in benchmarks:
-        result.points.append(
-            _run_svc(name, "svc_4x8k", final_design(SVCConfig.paper_32kb()), scale)
+        specs.append(
+            PointSpec(name, "svc_4x8k", "svc", final_design(SVCConfig.paper_32kb()), scale)
         )
-        result.points.append(
-            _run_svc(name, "svc_4x16k", final_design(SVCConfig.paper_64kb()), scale)
+        specs.append(
+            PointSpec(name, "svc_4x16k", "svc", final_design(SVCConfig.paper_64kb()), scale)
         )
+    result.points.extend(run_points(specs, workers))
     return result
 
 
@@ -149,19 +158,22 @@ def _run_figure(
     arb_factory: Callable[[int], ARBConfig],
     benchmarks,
     scale: Optional[float],
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(experiment=experiment)
+    specs = []
     for name in benchmarks:
-        result.points.append(_run_svc(name, "svc_1c", final_design(svc_config), scale))
+        specs.append(PointSpec(name, "svc_1c", "svc", final_design(svc_config), scale))
         for hit in (1, 2, 3, 4):
-            result.points.append(
-                _run_arb(name, f"arb_{hit}c", arb_factory(hit), scale)
-            )
+            specs.append(PointSpec(name, f"arb_{hit}c", "arb", arb_factory(hit), scale))
+    result.points.extend(run_points(specs, workers))
     return result
 
 
 def run_figure19(
-    benchmarks=BENCHMARKS, scale: Optional[float] = None
+    benchmarks=BENCHMARKS,
+    scale: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 19: IPC, ARB (1-4 cycle hit) vs SVC (1 cycle), 32KB total."""
     return _run_figure(
@@ -170,11 +182,14 @@ def run_figure19(
         lambda hit: ARBConfig.paper_32kb(hit_cycles=hit),
         benchmarks,
         scale,
+        workers,
     )
 
 
 def run_figure20(
-    benchmarks=BENCHMARKS, scale: Optional[float] = None
+    benchmarks=BENCHMARKS,
+    scale: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Figure 20: IPC, ARB (1-4 cycle hit) vs SVC (1 cycle), 64KB total."""
     return _run_figure(
@@ -183,6 +198,7 @@ def run_figure20(
         lambda hit: ARBConfig.paper_64kb(hit_cycles=hit),
         benchmarks,
         scale,
+        workers,
     )
 
 
@@ -190,6 +206,7 @@ def run_ablation_designs(
     benchmarks=("compress", "gcc", "mgrid"),
     designs=("base", "ec", "ecs", "hr", "final"),
     scale: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Design progression ablation: what each section-3 step buys.
 
@@ -197,22 +214,34 @@ def run_ablation_designs(
     this ablation also shows the RL design's line-size effect.
     """
     result = ExperimentResult(experiment="ablation_designs")
-    for name in benchmarks:
-        for design in designs:
-            config = design_config(design, SVCConfig.paper_32kb())
-            result.points.append(_run_svc(name, f"svc_{design}", config, scale))
+    specs = [
+        PointSpec(
+            name, f"svc_{design}", "svc",
+            design_config(design, SVCConfig.paper_32kb()), scale,
+        )
+        for name in benchmarks
+        for design in designs
+    ]
+    result.points.extend(run_points(specs, workers))
     return result
 
 
 def run_ablation_update_policy(
-    benchmarks=("compress", "gcc", "mgrid"), scale: Optional[float] = None
+    benchmarks=("compress", "gcc", "mgrid"),
+    scale: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Invalidate vs update vs hybrid coherence (section 3.8)."""
     result = ExperimentResult(experiment="ablation_update")
-    for name in benchmarks:
-        for policy in UpdatePolicy.ALL:
-            config = final_design(SVCConfig.paper_32kb(), update_policy=policy)
-            result.points.append(_run_svc(name, f"svc_{policy}", config, scale))
+    specs = [
+        PointSpec(
+            name, f"svc_{policy}", "svc",
+            final_design(SVCConfig.paper_32kb(), update_policy=policy), scale,
+        )
+        for name in benchmarks
+        for policy in UpdatePolicy.ALL
+    ]
+    result.points.extend(run_points(specs, workers))
     return result
 
 
@@ -220,6 +249,7 @@ def run_ablation_linesize(
     benchmarks=("compress", "ijpeg"),
     block_sizes=(4, 8, 16),
     scale: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """RL design: versioning-block size vs false-sharing squashes."""
     from dataclasses import replace
@@ -227,6 +257,7 @@ def run_ablation_linesize(
     from repro.common.config import CacheGeometry
 
     result = ExperimentResult(experiment="ablation_linesize")
+    specs = []
     for name in benchmarks:
         for vbs in block_sizes:
             geometry = CacheGeometry(
@@ -236,7 +267,8 @@ def run_ablation_linesize(
                 versioning_block_size=vbs,
             )
             config = replace(final_design(SVCConfig.paper_32kb()), geometry=geometry)
-            result.points.append(_run_svc(name, f"svc_vb{vbs}", config, scale))
+            specs.append(PointSpec(name, f"svc_vb{vbs}", "svc", config, scale))
+    result.points.extend(run_points(specs, workers))
     return result
 
 
@@ -244,6 +276,7 @@ def run_ablation_scaling(
     benchmarks=("compress", "mgrid"),
     pu_counts=(2, 4, 8),
     scale: Optional[float] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Extension experiment: PU-count scaling of both organizations.
 
@@ -255,20 +288,18 @@ def run_ablation_scaling(
     from dataclasses import replace
 
     result = ExperimentResult(experiment="ablation_scaling")
+    specs = []
     for name in benchmarks:
         for n_pus in pu_counts:
             svc_config = replace(
                 final_design(SVCConfig.paper_32kb()), n_caches=n_pus
             )
-            result.points.append(
-                _run_svc(name, f"svc_{n_pus}pu", svc_config, scale)
-            )
+            specs.append(PointSpec(name, f"svc_{n_pus}pu", "svc", svc_config, scale))
             arb_config = replace(
                 ARBConfig.paper_32kb(hit_cycles=2), n_stages=n_pus + 1
             )
-            result.points.append(
-                _run_arb(name, f"arb2c_{n_pus}pu", arb_config, scale)
-            )
+            specs.append(PointSpec(name, f"arb2c_{n_pus}pu", "arb", arb_config, scale))
+    result.points.extend(run_points(specs, workers))
     return result
 
 

@@ -1,0 +1,103 @@
+"""Process-parallel fan-out of experiment points.
+
+Every experiment in :mod:`repro.harness.experiments` is a list of
+independent (benchmark, machine) points: each point regenerates its own
+seeded workload and runs a fresh machine, so points share no mutable
+state and parallelize embarrassingly. This module fans a list of
+:class:`PointSpec` descriptors over a ``ProcessPoolExecutor`` and
+returns the per-point results *in spec order* — byte-identical to the
+serial loop, because
+
+* workloads are regenerated inside each worker from the per-benchmark
+  seeds in :data:`repro.workloads.spec95.SPEC95_PROFILES` (deterministic
+  regardless of which process runs the point, or in what order), and
+* each point builds its own ``SVCSystem``/``ARBSystem``, ``StatsRegistry``
+  and report; merging is just list assembly in submission order.
+
+``workers`` resolution: an explicit argument wins; otherwise the
+``REPRO_WORKERS`` environment variable; otherwise serial. ``0`` means
+"one worker per CPU". Serial execution never touches multiprocessing,
+so single-point callers and restricted environments pay nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One (benchmark, machine) experiment point, picklable for workers.
+
+    ``kind`` selects the machine ("svc" or "arb"); ``config`` is the
+    matching frozen config dataclass; ``scale`` is the workload scale
+    override (``None`` = the ``REPRO_SCALE`` environment default).
+    """
+
+    benchmark: str
+    machine: str
+    kind: str
+    config: object
+    scale: Optional[float] = None
+
+
+def execute_point(spec: PointSpec):
+    """Run one point and return its ``BenchmarkResult``.
+
+    Top-level so it pickles; imports deferred so this module stays
+    importable from :mod:`repro.harness.experiments` without a cycle.
+    """
+    from repro.harness.experiments import _run_arb, _run_svc
+
+    if spec.kind == "svc":
+        return _run_svc(spec.benchmark, spec.machine, spec.config, spec.scale)
+    if spec.kind == "arb":
+        return _run_arb(spec.benchmark, spec.machine, spec.config, spec.scale)
+    raise ValueError(f"unknown machine kind {spec.kind!r}")
+
+
+def resolve_workers(workers: Optional[Union[int, str]] = None) -> int:
+    """Effective worker count: argument, else ``REPRO_WORKERS``, else 1."""
+    if workers is None:
+        workers = os.environ.get(WORKERS_ENV, "")
+        if not workers:
+            return 1
+    count = int(workers)
+    if count < 0:
+        raise ValueError(f"worker count must be >= 0, got {count}")
+    if count == 0:
+        count = os.cpu_count() or 1
+    return count
+
+
+def run_points(
+    specs: List[PointSpec], workers: Optional[Union[int, str]] = None
+) -> List:
+    """Execute every spec, serially or across processes.
+
+    Results come back in spec order either way, so callers see exactly
+    what the serial loop produced.
+    """
+    count = resolve_workers(workers)
+    if count <= 1 or len(specs) <= 1:
+        return [execute_point(spec) for spec in specs]
+
+    import concurrent.futures
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        # No fork on this platform; spawn would re-import the world per
+        # worker, but points are deterministic either way.
+        context = multiprocessing.get_context("spawn")
+    max_workers = min(count, len(specs))
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=max_workers, mp_context=context
+    ) as pool:
+        return list(pool.map(execute_point, specs))

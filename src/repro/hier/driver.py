@@ -119,6 +119,10 @@ class SpeculativeExecutionDriver:
             watchdog_rounds if watchdog_rounds is not None else self.WATCHDOG_ROUNDS
         )
         self._next_dispatch = 0
+        #: First rank not yet committed; commits are strictly in rank
+        #: order and never undone, so this only ever advances — an
+        #: amortized-O(1) replacement for scanning the task list.
+        self._head_ptr = 0
         self._free_pus = list(range(system.n_units))
         self._violations = 0
         self._injected = 0
@@ -147,10 +151,14 @@ class SpeculativeExecutionDriver:
             self._next_dispatch += 1
 
     def _head_rank(self) -> Optional[int]:
-        for rank, state in enumerate(self.tasks):
-            if not state.committed:
-                return rank if state.pu is not None else None
-        return None
+        tasks = self.tasks
+        head = self._head_ptr
+        while head < len(tasks) and tasks[head].committed:
+            head += 1
+        self._head_ptr = head
+        if head >= len(tasks):
+            return None
+        return head if tasks[head].pu is not None else None
 
     def _reset_squashed(self, squashed_ranks: List[int]) -> None:
         """Re-dispatch squashed tasks on their PUs (same rank, fresh run)."""

@@ -21,7 +21,7 @@ class OpKind:
     COMPUTE = "compute"  # non-memory instruction (timing model only)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemOp:
     """One operation of a task.
 
@@ -78,10 +78,25 @@ class TaskProgram:
     ops: List[MemOp] = field(default_factory=list)
     name: Optional[str] = None
     mispredicted: bool = False
+    #: Lazily computed filter of ``ops``; the drivers index into it on
+    #: every step, so it must not be rebuilt per access. Invalidated by
+    #: :meth:`replace_ops` — mutate ``ops`` only through that.
+    _memory_ops: Optional[List[MemOp]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def memory_ops(self) -> List[MemOp]:
-        return [op for op in self.ops if op.kind != OpKind.COMPUTE]
+        if self._memory_ops is None:
+            self._memory_ops = [
+                op for op in self.ops if op.kind != OpKind.COMPUTE
+            ]
+        return self._memory_ops
+
+    def replace_ops(self, ops: List[MemOp]) -> None:
+        """Swap the op list, dropping the cached memory-op filter."""
+        self.ops = ops
+        self._memory_ops = None
 
     def __len__(self) -> int:
         return len(self.ops)

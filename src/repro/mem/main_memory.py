@@ -24,11 +24,13 @@ class MainMemory:
         self._bytes[addr] = value & 0xFF
 
     def read_bytes(self, addr: int, size: int) -> bytes:
-        return bytes(self.read_byte(addr + i) for i in range(size))
+        get = self._bytes.get
+        return bytes([get(i, 0) for i in range(addr, addr + size)])
 
     def write_bytes(self, addr: int, data: bytes) -> None:
+        store = self._bytes
         for i, byte in enumerate(data):
-            self._bytes[addr + i] = byte
+            store[addr + i] = byte
 
     def read_int(self, addr: int, size: int) -> int:
         """Little-endian unsigned integer at ``addr``."""

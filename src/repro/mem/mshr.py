@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 from repro.common.errors import ConfigError
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHR:
     """One in-flight line miss and the accesses combined into it."""
 

@@ -31,8 +31,21 @@ class SetAssociativeArray(Generic[LineT]):
         self._sets: List["OrderedDict[int, LineT]"] = [
             OrderedDict() for _ in range(geometry.n_sets)
         ]
+        # lookup() is the single hottest call in a timing sweep; when the
+        # geometry allows (power-of-two set count and line size — every
+        # paper configuration), index with shift+mask instead of div+mod.
+        n_sets = geometry.n_sets
+        line_size = geometry.line_size
+        if n_sets & (n_sets - 1) == 0 and line_size & (line_size - 1) == 0:
+            self._line_shift: Optional[int] = line_size.bit_length() - 1
+            self._set_mask = n_sets - 1
+        else:
+            self._line_shift = None
+            self._set_mask = 0
 
     def _set_for(self, line_addr: int) -> "OrderedDict[int, LineT]":
+        if self._line_shift is not None:
+            return self._sets[(line_addr >> self._line_shift) & self._set_mask]
         return self._sets[self.geometry.set_index(line_addr)]
 
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[LineT]:

@@ -45,6 +45,9 @@ class SVCCache:
         #: Fault injection (repro.faults): when set, replacement picks an
         #: adversarial victim from the legal candidates instead of LRU.
         self.victim_bias_rng = None
+        #: Version directory (repro.svc.directory) notified at every
+        #: residency change; None when the system runs brute-force snoops.
+        self.directory = None
 
     # -- lookup helpers --------------------------------------------------------
 
@@ -201,11 +204,16 @@ class SVCCache:
         self.array.insert(line_addr, line)
         if not line.committed:
             self.active_lines.add(line_addr)
+        if self.directory is not None:
+            self.directory.on_install(self.cache_id, line_addr, line)
 
     def drop(self, line_addr: int) -> SVCLine:
         """Remove a line (invalidation, purge or cast-out)."""
         self.active_lines.discard(line_addr)
-        return self.array.remove(line_addr)
+        line = self.array.remove(line_addr)
+        if self.directory is not None:
+            self.directory.on_drop(self.cache_id, line_addr)
+        return line
 
     # -- task lifecycle -----------------------------------------------------------
 
@@ -246,6 +254,10 @@ class SVCCache:
 
     def flash_invalidate_all(self) -> None:
         """Base-design commit/squash epilogue: drop every line."""
+        if self.directory is not None:
+            self.directory.on_clear(
+                self.cache_id, [addr for addr, _ in self.array.lines()]
+            )
         self.array.clear()
         self.active_lines.clear()
 
@@ -272,6 +284,8 @@ class SVCCache:
                 line.exclusive = False
             else:
                 self.array.remove(line_addr)
+                if self.directory is not None:
+                    self.directory.on_drop(self.cache_id, line_addr)
                 dropped.append(line_addr)
         self.active_lines.clear()
         self.current_task = None

@@ -1,0 +1,147 @@
+"""Line-granular version directory: snoop filtering for the VCL.
+
+The seed implementation resolved every bus request by brute force —
+``for cache in self.system.caches: cache.line_for(line_addr)`` — an
+O(n_caches × lookup) broadcast snoop per transaction, repeated several
+times per request (fill composition, purge, exclusivity checks, VOL
+repair). Directory-style filtering of broadcast snoops is the classic
+fix: keep, per line address, the set of caches that currently hold the
+line, and consult only those.
+
+:class:`VersionDirectory` is that filter. It maps ``line_addr ->
+{cache_id: SVCLine}`` and is maintained *incrementally* at the only
+points where residency changes — :meth:`repro.svc.cache.SVCCache.install`,
+:meth:`~repro.svc.cache.SVCCache.drop` and the flash squash/invalidate
+paths — so a snapshot costs O(holders) instead of O(n_caches × ways).
+The line *objects* are shared with the cache arrays, so per-line bits
+(C, T, A, X, masks) read through the directory are always current; only
+residency needs explicit bookkeeping.
+
+The directory is a pure accelerator: :class:`repro.svc.vcl.
+VersionControlLogic` falls back to the brute-force scan when
+``SVCConfig.use_directory`` is off, and the two paths are required to be
+*byte-identical* in observable behaviour (event streams, stats, memory
+images) — enforced by :mod:`repro.harness.differential` and the
+property tests. In the spirit of RealityCheck, the fast path is
+verified against the slow path rather than trusted:
+:meth:`VersionDirectory.audit` cross-checks the directory against a
+full array scan, and both :meth:`repro.svc.system.SVCSystem.verify` and
+the runtime :class:`repro.check.InvariantChecker` run it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.svc.line import SVCLine
+
+
+class VersionDirectory:
+    """Incrementally maintained map of line address -> holder set."""
+
+    __slots__ = ("_holders",)
+
+    def __init__(self) -> None:
+        #: line_addr -> {cache_id: line}. Holder dicts are keyed by
+        #: cache id; :meth:`entries` returns them in ascending cache-id
+        #: order, matching the brute-force scan's iteration order so the
+        #: two paths are observably identical.
+        self._holders: Dict[int, Dict[int, SVCLine]] = {}
+
+    # -- maintenance (called from SVCCache at every residency change) -------
+
+    def on_install(self, cache_id: int, line_addr: int, line: SVCLine) -> None:
+        holders = self._holders.get(line_addr)
+        if holders is None:
+            holders = {}
+            self._holders[line_addr] = holders
+        holders[cache_id] = line
+
+    def on_drop(self, cache_id: int, line_addr: int) -> None:
+        holders = self._holders.get(line_addr)
+        if holders is None or cache_id not in holders:
+            raise ProtocolError(
+                f"directory desync: cache {cache_id} dropped line "
+                f"{line_addr:#x} it was never recorded as holding"
+            )
+        del holders[cache_id]
+        if not holders:
+            del self._holders[line_addr]
+
+    def on_clear(self, cache_id: int, line_addrs: Iterable[int]) -> None:
+        """Flash invalidate: one cache drops every listed line at once."""
+        for line_addr in line_addrs:
+            self.on_drop(cache_id, line_addr)
+
+    # -- queries -------------------------------------------------------------
+
+    def entries(self, line_addr: int) -> Dict[int, SVCLine]:
+        """Fresh ``{cache_id: line}`` snapshot for one line, ascending by
+        cache id (callers mutate the returned dict)."""
+        holders = self._holders.get(line_addr)
+        if not holders:
+            return {}
+        if len(holders) == 1:
+            return dict(holders)
+        return {cid: holders[cid] for cid in sorted(holders)}
+
+    def holder_ids(self, line_addr: int) -> List[int]:
+        holders = self._holders.get(line_addr)
+        return sorted(holders) if holders else []
+
+    def addresses(self) -> List[int]:
+        """All line addresses with at least one holder, ascending."""
+        return sorted(self._holders)
+
+    def holder_count(self, line_addr: int) -> int:
+        holders = self._holders.get(line_addr)
+        return len(holders) if holders else 0
+
+    def __len__(self) -> int:
+        return len(self._holders)
+
+    def __iter__(self) -> Iterator[Tuple[int, Dict[int, SVCLine]]]:
+        return iter(self._holders.items())
+
+    # -- verification --------------------------------------------------------
+
+    def audit(self, caches) -> None:
+        """Differential check of the fast path against the slow path.
+
+        Rebuilds the holder map by brute-force scan of every cache array
+        and raises :class:`ProtocolError` on the first disagreement —
+        a missing holder would let a snoop skip a cache that holds the
+        line (an undetected violation), a phantom holder would corrupt
+        VOL construction.
+        """
+        actual: Dict[int, Dict[int, SVCLine]] = {}
+        for cache in caches:
+            for line_addr, line in cache.lines():
+                actual.setdefault(line_addr, {})[cache.cache_id] = line
+        if set(actual) != set(self._holders):
+            missing = sorted(set(actual) - set(self._holders))
+            phantom = sorted(set(self._holders) - set(actual))
+            raise ProtocolError(
+                "version directory address set diverged from the cache "
+                f"arrays (missing={list(map(hex, missing))}, "
+                f"phantom={list(map(hex, phantom))})"
+            )
+        for line_addr, holders in actual.items():
+            recorded = self._holders[line_addr]
+            if set(holders) != set(recorded):
+                raise ProtocolError(
+                    f"version directory holder set for {line_addr:#x} is "
+                    f"{sorted(recorded)} but the arrays hold "
+                    f"{sorted(holders)}"
+                )
+            for cache_id, line in holders.items():
+                if recorded[cache_id] is not line:
+                    raise ProtocolError(
+                        f"version directory for {line_addr:#x} cache "
+                        f"{cache_id} tracks a different line object than "
+                        "the array holds"
+                    )
+
+    def clear(self) -> None:
+        self._holders.clear()

@@ -33,9 +33,14 @@ class LineState:
     PASSIVE_DIRTY = "PassiveDirty"
 
 
-@dataclass
+@dataclass(slots=True)
 class SVCLine:
-    """One resident SVC line. ``data`` always spans the full line."""
+    """One resident SVC line. ``data`` always spans the full line.
+
+    ``slots=True``: millions of lines are created per timing sweep, and
+    the protocol hot paths read these fields constantly; slot access
+    avoids a per-instance ``__dict__`` in both time and space.
+    """
 
     data: bytearray
     valid_mask: int = 0

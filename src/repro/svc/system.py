@@ -27,6 +27,7 @@ from repro.common.events import EventLog
 from repro.common.stats import StatsRegistry
 from repro.mem.main_memory import MainMemory
 from repro.svc.cache import ProbeOutcome, SVCCache
+from repro.svc.directory import VersionDirectory
 from repro.svc.line import LineState, SVCLine
 from repro.svc.vcl import VersionControlLogic
 
@@ -69,9 +70,20 @@ class SVCSystem:
             SVCCache(i, self.geometry, self.features)
             for i in range(self.config.n_caches)
         ]
+        #: Line-granular residency index consulted by the VCL instead of
+        #: scanning every cache; None runs the seed's brute-force snoops.
+        self.directory = VersionDirectory() if self.config.use_directory else None
+        if self.directory is not None:
+            for cache in self.caches:
+                cache.directory = self.directory
         self.vcl = VersionControlLogic(self)
         self._committed_through = -1
         self._content_counter = 0
+        #: Incrementally maintained task maps (cache_id -> rank and the
+        #: inverse), replacing the per-call rebuild over all caches.
+        #: :meth:`verify` audits them against the caches' own state.
+        self._active_ranks: Dict[int, int] = {}
+        self._rank_to_cache: Dict[int, int] = {}
         #: True while a bus transaction is mutating distributed state.
         #: A violation squash fired mid-window is observable through the
         #: event log before the requestor's own line is final; full-state
@@ -106,21 +118,14 @@ class SVCSystem:
         return self.caches[cache_id].current_task
 
     def current_ranks(self) -> Dict[int, int]:
-        return {
-            cache.cache_id: cache.current_task
-            for cache in self.caches
-            if cache.current_task is not None
-        }
+        return dict(self._active_ranks)
 
     def head_rank(self) -> Optional[int]:
-        ranks = self.current_ranks()
-        return min(ranks.values()) if ranks else None
+        # min over at most n_caches keys; no rebuild over the caches.
+        return min(self._rank_to_cache) if self._rank_to_cache else None
 
     def cache_of_rank(self, rank: int) -> Optional[int]:
-        for cache_id, current in self.current_ranks().items():
-            if current == rank:
-                return cache_id
-        return None
+        return self._rank_to_cache.get(rank)
 
     def begin_task(self, cache_id: int, rank: int) -> None:
         """Assign task ``rank`` to the PU behind ``cache_id``."""
@@ -129,9 +134,11 @@ class SVCSystem:
                 f"task rank {rank} is not after the committed prefix "
                 f"({self._committed_through})"
             )
-        if rank in self.current_ranks().values():
+        if rank in self._rank_to_cache:
             raise ProtocolError(f"task rank {rank} is already running")
         self.caches[cache_id].begin_task(rank)
+        self._active_ranks[cache_id] = rank
+        self._rank_to_cache[rank] = cache_id
         if self.event_log is not None:
             self.event_log.emit("begin_task", source="svc", cache=cache_id, rank=rank)
 
@@ -166,6 +173,8 @@ class SVCSystem:
                 self.stats.add("commit_writebacks")
             cache.flash_invalidate_all()
             cache.current_task = None
+        del self._active_ranks[cache_id]
+        del self._rank_to_cache[rank]
         self._committed_through = rank
         if self.event_log is not None:
             self.event_log.emit(
@@ -178,7 +187,7 @@ class SVCSystem:
         squash model). Returns the squashed ranks, oldest first."""
         victims = sorted(
             (task, cache_id)
-            for cache_id, task in self.current_ranks().items()
+            for cache_id, task in self._active_ranks.items()
             if task >= rank
         )
         for task, cache_id in victims:
@@ -188,6 +197,8 @@ class SVCSystem:
             else:
                 cache.flash_invalidate_all()
                 cache.current_task = None
+            del self._active_ranks[cache_id]
+            del self._rank_to_cache[task]
             self.stats.add(f"squashes_{reason}")
         # Emit after *all* victims are flashed: observers (the invariant
         # checker) must not see the half-squashed intermediate states.
@@ -336,6 +347,14 @@ class SVCSystem:
             rewrite_pointers,
         )
 
+        # The accelerator structures are audited against the ground truth
+        # (the cache arrays themselves) before anything trusts them: a
+        # desynced directory or rank map is itself a protocol violation.
+        self._audit_task_maps()
+        if self.directory is not None:
+            self.directory.audit(self.caches)
+        # Address collection stays brute-force on purpose: a line smuggled
+        # into an array behind the directory's back must still be audited.
         addresses = set()
         for cache in self.caches:
             for line_addr, _line in cache.lines():
@@ -350,6 +369,25 @@ class SVCSystem:
                 refresh_stale_bits(entries, vol, stamps)
             check_invariants(
                 entries, vol, ranks, stamps, check_stale=self.features.stale_bit
+            )
+
+    def _audit_task_maps(self) -> None:
+        """Cross-check the incremental rank maps against the caches."""
+        actual = {
+            cache.cache_id: cache.current_task
+            for cache in self.caches
+            if cache.current_task is not None
+        }
+        if actual != self._active_ranks:
+            raise ProtocolError(
+                f"task map desync: tracked {self._active_ranks} but the "
+                f"caches report {actual}"
+            )
+        inverse = {rank: cache_id for cache_id, rank in actual.items()}
+        if inverse != self._rank_to_cache:
+            raise ProtocolError(
+                f"rank map desync: tracked {self._rank_to_cache} but the "
+                f"caches report {inverse}"
             )
 
     def miss_ratio(self) -> float:

@@ -79,6 +79,13 @@ class VersionControlLogic:
     # -- snapshot helpers ---------------------------------------------------
 
     def _entries(self, line_addr: int) -> Dict[int, SVCLine]:
+        """Holder snapshot for one line: O(holders) via the version
+        directory, else the seed's brute-force snoop of every cache.
+        Both paths return a fresh dict in ascending cache-id order, so
+        they are observably interchangeable (callers mutate the result)."""
+        directory = self.system.directory
+        if directory is not None:
+            return directory.entries(line_addr)
         entries = {}
         for cache in self.system.caches:
             line = cache.line_for(line_addr)
@@ -87,11 +94,7 @@ class VersionControlLogic:
         return entries
 
     def _ranks(self) -> Dict[int, int]:
-        return {
-            cache.cache_id: cache.current_task
-            for cache in self.system.caches
-            if cache.current_task is not None
-        }
+        return self.system.current_ranks()
 
     @staticmethod
     def _insertion_index(

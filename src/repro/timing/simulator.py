@@ -125,6 +125,9 @@ class TimingSimulator:
         self._rank_to_pu: Dict[int, int] = {}
         self._done_at: Dict[int, int] = {}
         self._committed: List[bool] = [False] * len(tasks)
+        #: First rank not yet committed; commits are in-order and final,
+        #: so the pointer only advances (amortized-O(1) head lookup).
+        self._head_ptr = 0
         self._next_dispatch = 0
         self._mispredict_pending: Dict[int, bool] = {
             rank: t.mispredicted for rank, t in enumerate(tasks) if t.mispredicted
@@ -277,10 +280,12 @@ class TimingSimulator:
     # -- commit machinery -----------------------------------------------------------------
 
     def _head_rank(self) -> Optional[int]:
-        for rank, committed in enumerate(self._committed):
-            if not committed:
-                return rank
-        return None
+        committed = self._committed
+        head = self._head_ptr
+        while head < len(committed) and committed[head]:
+            head += 1
+        self._head_ptr = head
+        return head if head < len(committed) else None
 
     def _try_commits(self, now: int) -> None:
         while True:

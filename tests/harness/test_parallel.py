@@ -1,0 +1,75 @@
+"""Process-parallel fan-out must reproduce the serial loop exactly."""
+
+import os
+
+import pytest
+
+from repro.common.config import ARBConfig, SVCConfig
+from repro.harness.experiments import run_figure19, run_table2
+from repro.harness.parallel import (
+    PointSpec,
+    execute_point,
+    resolve_workers,
+    run_points,
+)
+from repro.svc.designs import final_design
+
+SCALE = 0.01  # tiny: these tests check plumbing, not statistics
+
+
+def as_dicts(result):
+    return [vars(point) for point in result.points]
+
+
+def test_parallel_experiment_matches_serial():
+    serial = run_figure19(benchmarks=("compress",), scale=SCALE, workers=1)
+    parallel = run_figure19(benchmarks=("compress",), scale=SCALE, workers=2)
+    assert as_dicts(serial) == as_dicts(parallel)
+
+
+def test_parallel_preserves_point_order():
+    result = run_table2(benchmarks=("compress", "gcc"), scale=SCALE, workers=3)
+    labels = [(point.benchmark, point.machine) for point in result.points]
+    assert labels == [
+        ("compress", "arb_32k"),
+        ("compress", "svc_4x8k"),
+        ("gcc", "arb_32k"),
+        ("gcc", "svc_4x8k"),
+    ]
+
+
+def test_execute_point_dispatches_both_kinds():
+    svc_spec = PointSpec(
+        "compress", "svc_4x8k", "svc", final_design(SVCConfig.paper_32kb()), SCALE
+    )
+    arb_spec = PointSpec(
+        "compress", "arb_32k", "arb", ARBConfig.paper_32kb(), SCALE
+    )
+    assert execute_point(svc_spec).machine == "svc_4x8k"
+    assert execute_point(arb_spec).machine == "arb_32k"
+    with pytest.raises(ValueError):
+        execute_point(
+            PointSpec("compress", "x", "coherence", None, SCALE)
+        )
+
+
+def test_resolve_workers_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers(None) == 1
+    assert resolve_workers(3) == 3
+    assert resolve_workers("4") == 4
+    assert resolve_workers(0) == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    assert resolve_workers(None) == 2
+    assert resolve_workers(5) == 5  # explicit argument beats the env
+    with pytest.raises(ValueError):
+        resolve_workers(-1)
+
+
+def test_run_points_empty_and_single():
+    assert run_points([], workers=4) == []
+    spec = PointSpec(
+        "compress", "svc_4x8k", "svc", final_design(SVCConfig.paper_32kb()), SCALE
+    )
+    (only,) = run_points([spec], workers=4)
+    assert only.benchmark == "compress"

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the experiment harness, with a regression gate.
+
+Runs the paper's figure sweeps end to end, times them, and emits
+``BENCH_PERF.json`` recording wall time and simulation throughput
+(events/sec, where an event is one committed instruction). The committed
+baseline at the repository root is what CI's ``bench-smoke`` job compares
+a fresh ``--quick`` run against: a wall-time regression beyond the
+threshold (default 25%) fails the job.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_perf.py --quick
+    PYTHONPATH=src python tools/bench_perf.py --scale 0.1 --workers 4
+    PYTHONPATH=src python tools/bench_perf.py --quick --compare BENCH_PERF.json
+
+Throughput (events/sec) is the hardware-portable number: wall times from
+different machines are not comparable, so ``--compare`` refuses to gate
+unless the baseline was produced with the same scale, benchmarks and
+experiment list (it still only means something on similar hardware —
+CI compares CI-produced numbers against a CI-produced baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.experiments import EXPERIMENTS  # noqa: E402
+from repro.harness.parallel import resolve_workers  # noqa: E402
+from repro.workloads.spec95 import BENCHMARKS  # noqa: E402
+
+#: Experiments timed by default: the paper's headline IPC sweeps.
+DEFAULT_EXPERIMENTS = ("fig19", "fig20")
+
+#: --quick settings: small but non-trivial, for CI smoke gating.
+QUICK_SCALE = 0.05
+QUICK_BENCHMARKS = ("compress", "gcc", "mgrid")
+
+
+def run_bench(experiments, benchmarks, scale, workers):
+    """Time each experiment; return the BENCH_PERF payload."""
+    results = {}
+    total_wall = 0.0
+    total_events = 0
+    for name in experiments:
+        runner = EXPERIMENTS[name]
+        start = time.perf_counter()
+        result = runner(benchmarks=benchmarks, scale=scale, workers=workers)
+        wall = time.perf_counter() - start
+        events = sum(point.instructions for point in result.points)
+        cycles = sum(point.cycles for point in result.points)
+        results[name] = {
+            "wall_time_s": round(wall, 3),
+            "events": events,
+            "events_per_sec": round(events / wall) if wall > 0 else 0,
+            "cycles": cycles,
+            "points": len(result.points),
+        }
+        total_wall += wall
+        total_events += events
+        print(
+            f"{name}: {wall:.2f}s, {events} events, "
+            f"{results[name]['events_per_sec']} events/sec",
+            file=sys.stderr,
+        )
+    return {
+        "meta": {
+            "scale": scale,
+            "workers": resolve_workers(workers),
+            "benchmarks": list(benchmarks),
+            "experiments": list(experiments),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "experiments": results,
+        "total": {
+            "wall_time_s": round(total_wall, 3),
+            "events": total_events,
+            "events_per_sec": (
+                round(total_events / total_wall) if total_wall > 0 else 0
+            ),
+        },
+    }
+
+
+def compare(current, baseline, threshold):
+    """Gate: fail when current wall time regresses past the threshold.
+
+    Returns a list of failure strings (empty = pass).
+    """
+    failures = []
+    for key in ("scale", "benchmarks", "experiments"):
+        if current["meta"].get(key) != baseline["meta"].get(key):
+            failures.append(
+                f"baseline not comparable: {key} differs "
+                f"({baseline['meta'].get(key)!r} vs {current['meta'].get(key)!r})"
+            )
+    if failures:
+        return failures
+    old = baseline["total"]["wall_time_s"]
+    new = current["total"]["wall_time_s"]
+    if old > 0 and new > old * (1.0 + threshold):
+        failures.append(
+            f"total wall time regressed {new / old:.2f}x "
+            f"({old:.2f}s -> {new:.2f}s, threshold {1.0 + threshold:.2f}x)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke settings: scale {QUICK_SCALE}, "
+        f"benchmarks {', '.join(QUICK_BENCHMARKS)}",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None, help="workload scale factor"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-parallel fan-out width (0 = one per CPU; "
+        "default: REPRO_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--experiments",
+        default=",".join(DEFAULT_EXPERIMENTS),
+        help="comma-separated experiment names "
+        f"(default {','.join(DEFAULT_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated benchmark subset (default: all seven)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_PERF.json", help="where to write the payload"
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="baseline BENCH_PERF.json to gate against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional wall-time regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    experiments = tuple(name for name in args.experiments.split(",") if name)
+    for name in experiments:
+        if name not in EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}")
+    if args.benchmarks:
+        benchmarks = tuple(name for name in args.benchmarks.split(",") if name)
+    elif args.quick:
+        benchmarks = QUICK_BENCHMARKS
+    else:
+        benchmarks = BENCHMARKS
+    scale = args.scale
+    if scale is None:
+        scale = QUICK_SCALE if args.quick else None
+
+    payload = run_bench(experiments, benchmarks, scale, args.workers)
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.compare:
+        with open(args.compare) as handle:
+            baseline = json.load(handle)
+        failures = compare(payload, baseline, args.threshold)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"within budget: {payload['total']['wall_time_s']:.2f}s vs "
+            f"baseline {baseline['total']['wall_time_s']:.2f}s",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
