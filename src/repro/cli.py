@@ -7,6 +7,7 @@ Usage (any experiment from the registry)::
     python -m repro ablation_designs
     python -m repro list
     python -m repro replay failure.json --shrink
+    python -m repro modelcheck --pus 2 --ops 3 --lines 2
 
 Results print in the paper's row/series shape, with the published
 numbers alongside where the paper reports them, and can additionally be
@@ -60,7 +61,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help="experiment id (see 'list'): "
         + ", ".join(sorted(set(EXPERIMENTS) | {"list"}))
-        + "; or 'replay <capture.json>' to re-run a failure capture",
+        + "; or 'replay <capture.json>' to re-run a failure capture; "
+        "or 'modelcheck' for bounded exhaustive schedule exploration",
     )
     parser.add_argument(
         "--benchmarks",
@@ -88,6 +90,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.replay import replay_main
 
         return replay_main(raw[1:])
+    if raw and raw[0] == "modelcheck":
+        from repro.modelcheck.runner import modelcheck_main
+
+        return modelcheck_main(raw[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, runner in sorted(EXPERIMENTS.items()):

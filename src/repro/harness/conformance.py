@@ -1,0 +1,115 @@
+"""The conformance corpus: pinned per-tier protocol event streams.
+
+A correct protocol change (a new pruning, a refactor of the VCL) must
+not alter what the protocol *does* on a fixed workload under a fixed
+deterministic schedule — and an accidental behavior change should fail
+loudly, pointing at the first diverging bus transaction rather than at
+a distant oracle mismatch. This module generates that evidence: a small
+seeded workload, executed per design tier with the ``oldest_first``
+schedule (fully deterministic — no RNG choices survive into the event
+order), logging every protocol event.
+
+``tests/conformance/`` pins the resulting streams as fixtures;
+``tools/gen_conformance.py`` regenerates them after an *intentional*
+protocol change, which makes the diff of the fixture file itself the
+reviewable artifact of the change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.common.config import CacheGeometry, SVCConfig
+from repro.common.events import EventLog
+from repro.hier.driver import SpeculativeExecutionDriver
+from repro.hier.task import TaskProgram
+from repro.svc.designs import DESIGNS, design_config
+from repro.svc.system import SVCSystem
+from repro.workloads.generator import WorkloadSpec, generate_tasks
+
+#: Bump when the corpus workload or geometry deliberately changes.
+CORPUS_VERSION = 1
+
+#: Small enough to keep fixtures reviewable, big enough to exercise
+#: fills, version forwarding, violation squashes, commits and evictions.
+CORPUS_SPEC = WorkloadSpec(
+    name="conformance",
+    n_tasks=24,
+    ops_per_task_mean=20,
+    memory_fraction=0.7,
+    store_fraction=0.5,
+    working_set_bytes=2 * 1024,
+    #: One hot 16-word window shared by *every* task: under the
+    #: youngest-first schedule this reliably produces use-before-
+    #: definition violations, so the streams pin squash and
+    #: re-execution behavior, not just fills and commits.
+    shared_bytes=64,
+    shared_window_words=16,
+    read_only_bytes=512,
+    p_shared=0.60,
+    p_private=0.15,
+    p_read_only=0.10,
+    mispredict_rate=0.0,
+    seed=7,
+)
+
+#: Tiny caches force replacements and retention decisions into the
+#: stream (4 x 512B, 2-way); versioning blocks at the paper's 4 bytes.
+CORPUS_GEOMETRY = CacheGeometry(
+    size_bytes=512, associativity=2, line_size=16, versioning_block_size=4
+)
+
+
+def corpus_tasks() -> List[TaskProgram]:
+    """The fixed conformance workload (deterministic by construction)."""
+    return generate_tasks(CORPUS_SPEC)
+
+
+def event_stream(design: str) -> List[str]:
+    """Run the corpus on ``design`` and return the described events."""
+    if design not in DESIGNS:
+        raise ValueError(f"unknown SVC design {design!r}")
+    event_log = EventLog()
+    config = design_config(
+        design, SVCConfig(geometry=CORPUS_GEOMETRY, n_caches=4)
+    )
+    system = SVCSystem(config, event_log=event_log)
+    # youngest_first is deterministic like oldest_first, but runs later
+    # tasks ahead of their producers — the stream gets violation
+    # squashes and re-executions, not just fills and commits.
+    driver = SpeculativeExecutionDriver(
+        system, corpus_tasks(), seed=0, schedule="youngest_first"
+    )
+    driver.run()
+    return [event.describe() for event in event_log]
+
+
+def stream_digest(lines: List[str]) -> str:
+    """Stable digest of one stream (what commit messages can quote)."""
+    payload = "\n".join(lines).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def corpus_digests() -> Dict[str, str]:
+    """Digest of every tier's stream, keyed by design name."""
+    return {design: stream_digest(event_stream(design)) for design in DESIGNS}
+
+
+def first_divergence(expected: List[str], actual: List[str]) -> str:
+    """Human-oriented pointer at the first differing event."""
+    for index, (want, got) in enumerate(zip(expected, actual)):
+        if want != got:
+            return (
+                f"first divergence at event {index}:\n"
+                f"  expected: {want}\n"
+                f"  actual:   {got}"
+            )
+    if len(expected) != len(actual):
+        longer = "actual" if len(actual) > len(expected) else "expected"
+        return (
+            f"streams agree for {min(len(expected), len(actual))} events, "
+            f"then {longer} continues "
+            f"({len(expected)} expected vs {len(actual)} actual)"
+        )
+    return "streams are identical"

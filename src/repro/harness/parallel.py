@@ -75,17 +75,20 @@ def resolve_workers(workers: Optional[Union[int, str]] = None) -> int:
     return count
 
 
-def run_points(
-    specs: List[PointSpec], workers: Optional[Union[int, str]] = None
+def parallel_map(
+    func, items: List, workers: Optional[Union[int, str]] = None
 ) -> List:
-    """Execute every spec, serially or across processes.
+    """``[func(item) for item in items]``, optionally across processes.
 
-    Results come back in spec order either way, so callers see exactly
-    what the serial loop produced.
+    The generic engine under :func:`run_points` and the model checker's
+    per-program fan-out. ``func`` must be a top-level function and every
+    item picklable; results come back in item order either way, so
+    callers see exactly what the serial loop produced.
     """
+    items = list(items)
     count = resolve_workers(workers)
-    if count <= 1 or len(specs) <= 1:
-        return [execute_point(spec) for spec in specs]
+    if count <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
 
     import concurrent.futures
     import multiprocessing
@@ -94,10 +97,17 @@ def run_points(
         context = multiprocessing.get_context("fork")
     except ValueError:
         # No fork on this platform; spawn would re-import the world per
-        # worker, but points are deterministic either way.
+        # worker, but the work is deterministic either way.
         context = multiprocessing.get_context("spawn")
-    max_workers = min(count, len(specs))
+    max_workers = min(count, len(items))
     with concurrent.futures.ProcessPoolExecutor(
         max_workers=max_workers, mp_context=context
     ) as pool:
-        return list(pool.map(execute_point, specs))
+        return list(pool.map(func, items))
+
+
+def run_points(
+    specs: List[PointSpec], workers: Optional[Union[int, str]] = None
+) -> List:
+    """Execute every experiment point, serially or across processes."""
+    return parallel_map(execute_point, specs, workers)

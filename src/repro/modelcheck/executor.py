@@ -1,0 +1,233 @@
+"""Deterministic, action-at-a-time schedule execution.
+
+The hier driver picks the next PU step from an RNG; the model checker
+needs the opposite — an executor whose *caller* chooses each step, so a
+schedule is an explicit list of actions that can be enumerated,
+fingerprinted and replayed. :class:`ScheduleExecutor` re-implements the
+driver's stepping rules (dispatch in rank order to free PUs, per-task
+program order, violation squash resets, head-only commit) over the same
+duck-typed system interface, one action at a time:
+
+* ``("op", rank)`` — execute task ``rank``'s next memory op,
+* ``("commit", rank)`` — commit task ``rank`` (must be the head).
+
+An action sequence drives SVC and ARB systems identically, which is how
+the explorer cross-checks the tiers against the baseline, and how
+:mod:`repro.replay` replays a model-checker counterexample: a
+:class:`repro.replay.Case` with a ``script`` runs through this executor
+(leniently — dropped-op shrink candidates may leave script entries that
+are no longer enabled) and finishes any remaining work oldest-first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ProtocolError, ReplacementStall, SimulationError
+from repro.hier.driver import DriverReport
+from repro.hier.task import OpKind, TaskProgram
+
+#: One scheduler choice: ("op", rank) or ("commit", rank).
+Action = Tuple[str, int]
+
+
+@dataclass
+class _Progress:
+    """Mutable per-task execution state (mirrors the driver's)."""
+
+    pu: Optional[int] = None
+    op_index: int = 0
+    observed_loads: List[int] = field(default_factory=list)
+    loaded_by_index: Dict[int, int] = field(default_factory=dict)
+    executions: int = 0
+    committed: bool = False
+
+
+class ScheduleExecutor:
+    """Drives a speculative memory system through explicit actions."""
+
+    def __init__(self, system, tasks: Sequence[TaskProgram]) -> None:
+        self.system = system
+        self.tasks = list(tasks)
+        self.progress = [_Progress() for _ in self.tasks]
+        self._memory_ops = [t.memory_ops for t in self.tasks]
+        self._next_dispatch = 0
+        self._free_pus = list(range(system.n_units))
+        self._violations = 0
+        self._stalls = 0
+        self._steps = 0
+        self._dispatch()
+
+    # -- scheduling state ---------------------------------------------------
+
+    def _dispatch(self) -> None:
+        while self._free_pus and self._next_dispatch < len(self.tasks):
+            rank = self._next_dispatch
+            pu = self._free_pus.pop(0)
+            state = self.progress[rank]
+            state.pu = pu
+            state.op_index = 0
+            state.observed_loads = []
+            state.loaded_by_index = {}
+            state.executions += 1
+            self.system.begin_task(pu, rank)
+            self._next_dispatch += 1
+
+    def _head_rank(self) -> Optional[int]:
+        for rank, state in enumerate(self.progress):
+            if not state.committed:
+                return rank if state.pu is not None else None
+        return None
+
+    def _finished(self, rank: int) -> bool:
+        return self.progress[rank].op_index >= len(self._memory_ops[rank])
+
+    @property
+    def terminal(self) -> bool:
+        return all(state.committed for state in self.progress)
+
+    def enabled(self) -> List[Action]:
+        """Every action the schedule may take next, in rank order."""
+        head = self._head_rank()
+        actions: List[Action] = []
+        for rank, state in enumerate(self.progress):
+            if state.pu is None or state.committed:
+                continue
+            if self._finished(rank):
+                if rank == head:
+                    actions.append(("commit", rank))
+            else:
+                actions.append(("op", rank))
+        return actions
+
+    def current_op(self, rank: int) -> Optional[object]:
+        """The memory op an ("op", rank) action would execute now."""
+        if self.progress[rank].committed or self._finished(rank):
+            return None
+        return self._memory_ops[rank][self.progress[rank].op_index]
+
+    # -- action application -------------------------------------------------
+
+    def apply(self, action: Action, lenient: bool = False) -> bool:
+        """Apply one action; returns True if it executed.
+
+        ``lenient`` skips actions that are not currently enabled (and
+        swallows a ReplacementStall into a retry-later no-op) instead of
+        raising — the semantics scripted replays need after shrinking
+        removed ops the script still names.
+        """
+        if action not in self.enabled():
+            if lenient:
+                return False
+            raise SimulationError(f"action {action!r} is not enabled")
+        kind, rank = action
+        self._steps += 1
+        if kind == "commit":
+            self._commit(rank)
+            return True
+        try:
+            self._step(rank)
+        except ReplacementStall:
+            if not lenient:
+                raise
+            self._stalls += 1
+            return False
+        return True
+
+    def _op_position(self, rank: int) -> int:
+        """Full-op-list index of the current memory op (value_deps use
+        full-list positions, exactly as in the driver)."""
+        program = self.tasks[rank]
+        positions = [
+            i for i, op in enumerate(program.ops) if op.kind != OpKind.COMPUTE
+        ]
+        return positions[self.progress[rank].op_index]
+
+    def _step(self, rank: int) -> None:
+        state = self.progress[rank]
+        op = self._memory_ops[rank][state.op_index]
+        if op.kind == OpKind.LOAD:
+            result = self.system.load(state.pu, op.addr, op.size)
+            state.observed_loads.append(result.value)
+            state.loaded_by_index[self._op_position(rank)] = result.value
+            state.op_index += 1
+        elif op.kind == OpKind.STORE:
+            value = op.store_value(state.loaded_by_index)
+            result = self.system.store(state.pu, op.addr, value, op.size)
+            state.op_index += 1
+            if result.squashed_ranks:
+                self._violations += 1
+                self._reset_squashed(result.squashed_ranks)
+        else:
+            raise SimulationError(f"schedule executor got op kind {op.kind!r}")
+
+    def _reset_squashed(self, squashed_ranks: List[int]) -> None:
+        for rank in sorted(squashed_ranks):
+            state = self.progress[rank]
+            if state.pu is None:
+                raise SimulationError(f"squashed rank {rank} had no PU")
+            state.op_index = 0
+            state.observed_loads = []
+            state.loaded_by_index = {}
+            state.executions += 1
+            self.system.begin_task(state.pu, rank)
+
+    def _commit(self, rank: int) -> None:
+        state = self.progress[rank]
+        self.system.commit_head(state.pu)
+        state.committed = True
+        self._free_pus.append(state.pu)
+        state.pu = None
+        self._dispatch()
+
+    # -- end of run ---------------------------------------------------------
+
+    def finish(self) -> DriverReport:
+        """Audit (when the system can) and drain a terminal execution."""
+        if not self.terminal:
+            raise SimulationError("finish() before the schedule is terminal")
+        verify = getattr(self.system, "verify", None)
+        if verify is not None:
+            verify()
+        self.system.drain()
+        return DriverReport(
+            load_values=[s.observed_loads for s in self.progress],
+            steps=self._steps,
+            violation_squashes=self._violations,
+            injected_squashes=0,
+            replacement_stalls=self._stalls,
+            task_executions=[s.executions for s in self.progress],
+        )
+
+
+def run_script(
+    system,
+    tasks: Sequence[TaskProgram],
+    script: Sequence[Action],
+    max_completion_steps: int = 10_000,
+) -> DriverReport:
+    """Replay a schedule script, then finish the run oldest-first.
+
+    Script actions are applied leniently (skipped when not enabled), so
+    shrunken scripts stay replayable; the deterministic oldest-first
+    completion mirrors the driver's ``oldest_first`` schedule, under
+    which the head always progresses, so the loop terminates unless the
+    protocol itself livelocks — which the step guard then reports.
+    """
+    executor = ScheduleExecutor(system, tasks)
+    for action in script:
+        executor.apply(tuple(action), lenient=True)
+    steps = 0
+    while not executor.terminal:
+        steps += 1
+        if steps > max_completion_steps:
+            raise SimulationError(
+                f"script completion exceeded {max_completion_steps} steps; "
+                "likely protocol livelock"
+            )
+        actions = executor.enabled()
+        if not actions:
+            raise ProtocolError("no enabled action but tasks remain")
+        executor.apply(min(actions, key=lambda a: (a[1], a[0])))
+    return executor.finish()

@@ -107,6 +107,21 @@ class Case:
     fault_plan: FaultPlan = field(default_factory=FaultPlan)
     checker: bool = True
     arb_rows: int = 32
+    #: Caches/PUs to build (ARB: stages - 1). The hier driver dispatches
+    #: over however many units the system reports, so this also bounds
+    #: concurrency.
+    n_caches: int = 4
+    #: Per-access invariant auditing inside SVCSystem (expensive; the
+    #: model checker turns it on, fuzzing leaves it to the event checker).
+    check_invariants: bool = False
+    #: An explicit schedule from repro.modelcheck: a tuple of
+    #: ("op"|"commit", rank) actions replayed through ScheduleExecutor
+    #: instead of the RNG-driven hier driver. None = use the driver.
+    script: Optional[Tuple[Tuple[str, int], ...]] = None
+    #: Name of a repro.modelcheck.mutations entry applied to the system
+    #: after construction — how kill-switch counterexamples stay
+    #: replayable from their capture file alone.
+    mutation: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.design not in CASE_DESIGNS:
@@ -115,7 +130,7 @@ class Case:
             )
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "design": self.design,
             "seed": self.seed,
             "tasks": [task_to_dict(t) for t in self.tasks],
@@ -130,7 +145,14 @@ class Case:
             "fault_plan": self.fault_plan.to_dict(),
             "checker": self.checker,
             "arb_rows": self.arb_rows,
+            "n_caches": self.n_caches,
+            "check_invariants": self.check_invariants,
         }
+        if self.script is not None:
+            data["script"] = [[kind, rank] for kind, rank in self.script]
+        if self.mutation is not None:
+            data["mutation"] = self.mutation
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "Case":
@@ -144,14 +166,27 @@ class Case:
             fault_plan=FaultPlan.from_dict(data.get("fault_plan", {})),
             checker=data.get("checker", True),
             arb_rows=data.get("arb_rows", 32),
+            n_caches=data.get("n_caches", 4),
+            check_invariants=data.get("check_invariants", False),
+            script=(
+                tuple((kind, rank) for kind, rank in data["script"])
+                if data.get("script") is not None
+                else None
+            ),
+            mutation=data.get("mutation"),
         )
 
     def describe(self) -> str:
         ops = sum(len(t.memory_ops) for t in self.tasks)
+        schedule = (
+            f"script[{len(self.script)}]" if self.script is not None
+            else self.schedule
+        )
+        mutated = f", mutation={self.mutation}" if self.mutation else ""
         return (
             f"Case(design={self.design}, seed={self.seed}, "
             f"{len(self.tasks)} tasks / {ops} memory ops, "
-            f"schedule={self.schedule}, {self.fault_plan.describe()})"
+            f"schedule={schedule}{mutated}, {self.fault_plan.describe()})"
         )
 
 
@@ -168,15 +203,29 @@ def build_system(case: Case):
 
         config = ARBConfig(
             n_rows=case.arb_rows,
+            n_stages=case.n_caches + 1,
             cache_geometry=CacheGeometry(
                 size_bytes=256, associativity=1, line_size=16
             ),
         )
-        return ARBSystem(config, checker=checker)
-    from repro.svc.system import SVCSystem
+        system = ARBSystem(config, checker=checker)
+    else:
+        from repro.svc.system import SVCSystem
 
-    config = design_config(case.design, SVCConfig(geometry=case.geometry))
-    return SVCSystem(config, checker=checker)
+        config = design_config(
+            case.design,
+            SVCConfig(
+                geometry=case.geometry,
+                n_caches=case.n_caches,
+                check_invariants=case.check_invariants,
+            ),
+        )
+        system = SVCSystem(config, checker=checker)
+    if case.mutation is not None:
+        from repro.modelcheck.mutations import MUTATIONS
+
+        MUTATIONS[case.mutation].apply(system)
+    return system
 
 
 @dataclass
@@ -225,16 +274,21 @@ def run_case(case: Case) -> CaseResult:
     """
     system = build_system(case)
     tasks = list(case.tasks)
-    driver = SpeculativeExecutionDriver(
-        system,
-        tasks,
-        seed=case.seed,
-        squash_probability=case.squash_probability,
-        schedule=case.schedule,
-        fault_plan=None if case.fault_plan.is_noop else case.fault_plan,
-    )
     try:
-        report = driver.run()
+        if case.script is not None:
+            from repro.modelcheck.executor import run_script
+
+            report = run_script(system, tasks, case.script)
+        else:
+            driver = SpeculativeExecutionDriver(
+                system,
+                tasks,
+                seed=case.seed,
+                squash_probability=case.squash_probability,
+                schedule=case.schedule,
+                fault_plan=None if case.fault_plan.is_noop else case.fault_plan,
+            )
+            report = driver.run()
     except InvariantViolation as exc:
         return CaseResult(
             ok=False,
@@ -361,6 +415,18 @@ def _memory_op_index(task: TaskProgram, full_index: int) -> Optional[int]:
     return None
 
 
+def _script_drop_rank(
+    script: Optional[Tuple[Tuple[str, int], ...]], rank: int
+) -> Optional[Tuple[Tuple[str, int], ...]]:
+    """A schedule script with ``rank``'s actions removed and later ranks
+    renumbered to match a task list that dropped ``rank``."""
+    if script is None:
+        return None
+    return tuple(
+        (kind, r - 1 if r > rank else r) for kind, r in script if r != rank
+    )
+
+
 def _shrink_candidates(case: Case) -> Iterator[Tuple[str, Case]]:
     """Strictly smaller variants of ``case``, most aggressive first."""
     # 1. Drop whole tasks, youngest first (later tasks are most often
@@ -370,7 +436,10 @@ def _shrink_candidates(case: Case) -> Iterator[Tuple[str, Case]]:
         yield (
             f"drop task {rank}",
             dataclasses.replace(
-                case, tasks=tasks, fault_plan=case.fault_plan.drop_rank(rank)
+                case,
+                tasks=tasks,
+                fault_plan=case.fault_plan.drop_rank(rank),
+                script=_script_drop_rank(case.script, rank),
             ),
         )
     # 2. Drop single ops, longest tasks first.
@@ -400,7 +469,17 @@ def _shrink_candidates(case: Case) -> Iterator[Tuple[str, Case]]:
                 f"drop task {rank} op {index}",
                 dataclasses.replace(case, tasks=tasks, fault_plan=plan),
             )
-    # 3. Weaken the fault plan one dimension at a time.
+    # 3. Drop single schedule actions (scripted cases replay leniently,
+    #    so a script that no longer matches the ops still runs; the
+    #    deterministic oldest-first completion picks up the slack).
+    if case.script is not None:
+        for index in range(len(case.script) - 1, -1, -1):
+            script = case.script[:index] + case.script[index + 1 :]
+            yield (
+                f"drop script action {index}",
+                dataclasses.replace(case, script=script),
+            )
+    # 4. Weaken the fault plan one dimension at a time.
     for plan in case.fault_plan.weakenings():
         yield ("weaken faults", dataclasses.replace(case, fault_plan=plan))
 

@@ -1,0 +1,65 @@
+"""Conformance corpus: live event streams must match the pinned fixtures.
+
+A failure here means the protocol's observable behavior changed on the
+fixed corpus workload. If the change is intentional, regenerate the
+fixtures (``PYTHONPATH=src python tools/gen_conformance.py``) and commit
+the diff with it; if not, the assertion message points at the first
+diverging event.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.conformance import (
+    corpus_digests,
+    event_stream,
+    first_divergence,
+    stream_digest,
+)
+from repro.svc.designs import DESIGNS
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def _fixture_stream(design):
+    path = os.path.join(FIXTURES, f"{design}.events")
+    with open(path) as handle:
+        return handle.read().splitlines()
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_event_stream_matches_fixture(design):
+    expected = _fixture_stream(design)
+    actual = event_stream(design)
+    assert actual == expected, (
+        f"{design} protocol event stream diverged from the pinned corpus "
+        f"({len(expected)} events pinned, {len(actual)} produced).\n"
+        + first_divergence(expected, actual)
+        + "\nIf intentional: PYTHONPATH=src python tools/gen_conformance.py"
+    )
+
+
+def test_digest_file_matches_fixture_streams():
+    """digests.txt is derived data; it must agree with the .events files."""
+    path = os.path.join(FIXTURES, "digests.txt")
+    with open(path) as handle:
+        lines = [l for l in handle.read().splitlines() if not l.startswith("#")]
+    pinned = dict(line.split() for line in lines)
+    assert set(pinned) == set(DESIGNS)
+    for design in DESIGNS:
+        assert pinned[design] == stream_digest(_fixture_stream(design))
+
+
+def test_streams_are_deterministic():
+    design = "final"
+    assert event_stream(design) == event_stream(design)
+
+
+def test_tiers_are_distinguishable():
+    """The corpus is rich enough that optimizations show up in it: no
+    tier's stream collapses into base's."""
+    digests = corpus_digests()
+    assert digests["base"] not in {
+        digests[d] for d in DESIGNS if d != "base"
+    }

@@ -1,0 +1,94 @@
+"""Unit tests for the ASCII bar-chart renderer."""
+
+import pytest
+
+from repro.harness.charts import render_grouped_bars
+from repro.harness.experiments import BenchmarkResult, ExperimentResult
+
+
+def _point(benchmark, machine, ipc):
+    return BenchmarkResult(
+        benchmark=benchmark,
+        machine=machine,
+        ipc=ipc,
+        miss_ratio=0.1,
+        bus_utilization=0.2,
+        cycles=1000,
+        instructions=int(1000 * ipc),
+        violation_squashes=0,
+        misprediction_squashes=0,
+    )
+
+
+def _result(points):
+    return ExperimentResult(experiment="test", points=points)
+
+
+IPC = lambda point: point.ipc  # noqa: E731
+
+
+def test_renders_header_with_scale():
+    result = _result([_point("compress", "svc", 2.0)])
+    text = render_grouped_bars(result, ["svc"], IPC, "IPC", width=40)
+    assert text.splitlines()[0] == "IPC (bar = 0.050 per char)"
+
+
+def test_peak_bar_spans_full_width_and_scales_others():
+    result = _result(
+        [_point("compress", "svc", 2.0), _point("compress", "arb", 1.0)]
+    )
+    text = render_grouped_bars(result, ["svc", "arb"], IPC, "IPC", width=40)
+    lines = text.splitlines()
+    assert lines[1] == "compress:"
+    svc_line = next(l for l in lines if l.lstrip().startswith("svc"))
+    arb_line = next(l for l in lines if l.lstrip().startswith("arb"))
+    assert svc_line.count("#") == 40
+    assert arb_line.count("#") == 20
+    assert svc_line.endswith("2.00")
+    assert arb_line.endswith("1.00")
+
+
+def test_benchmarks_keep_point_order_without_duplicates():
+    result = _result(
+        [
+            _point("gcc", "svc", 1.0),
+            _point("compress", "svc", 1.0),
+            _point("gcc", "arb", 1.0),  # duplicate benchmark, new machine
+        ]
+    )
+    text = render_grouped_bars(result, ["svc", "arb"], IPC, "IPC")
+    lines = text.splitlines()
+    headers = [l for l in lines if l.endswith(":")]
+    assert headers == ["gcc:", "compress:"]
+
+
+def test_missing_machine_points_are_skipped():
+    result = _result([_point("gcc", "svc", 1.0)])
+    text = render_grouped_bars(result, ["svc", "arb"], IPC, "IPC")
+    assert "arb" not in text.replace("bar =", "")
+
+
+def test_labels_align_to_longest_machine_name():
+    result = _result(
+        [_point("gcc", "svc", 1.0), _point("gcc", "arb_32k", 2.0)]
+    )
+    text = render_grouped_bars(result, ["svc", "arb_32k"], IPC, "IPC")
+    svc_line = next(l for l in text.splitlines() if l.lstrip().startswith("svc "))
+    # "svc" padded to len("arb_32k") before the bar separator
+    assert svc_line.startswith("  svc     |")
+
+
+def test_tiny_values_still_draw_one_char():
+    result = _result(
+        [_point("gcc", "svc", 100.0), _point("gcc", "arb", 0.001)]
+    )
+    text = render_grouped_bars(result, ["svc", "arb"], IPC, "IPC", width=10)
+    arb_line = next(l for l in text.splitlines() if l.lstrip().startswith("arb"))
+    assert arb_line.count("#") == 1
+
+
+@pytest.mark.parametrize("points", [[], [("gcc", "svc", 0.0)]])
+def test_no_positive_data_renders_placeholder(points):
+    result = _result([_point(*p) for p in points])
+    text = render_grouped_bars(result, ["svc"], IPC, "IPC")
+    assert text == "(no data)"

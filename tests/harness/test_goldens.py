@@ -1,0 +1,63 @@
+"""Golden-regeneration smoke test: the experiment pipeline, end to end.
+
+``benchmarks/results/*.txt`` are full-scale renderings committed once;
+nothing would notice if a timing-model or renderer change quietly made
+them unreproducible. This test reruns the same pipeline — workload
+generation, simulation, aggregation, rendering — at a tiny scale and
+compares against pinned fixtures, so any drift fails here first, with a
+pointer to regenerate both the fixtures and the published results.
+"""
+
+import difflib
+import os
+
+import pytest
+
+from repro.cli import _render
+from repro.harness.experiments import run_figure19, run_table2
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: Must match tools/gen_goldens.py.
+GOLDEN_SCALE = 0.02
+
+EXPERIMENTS = {
+    "table2_scale002.txt": run_table2,
+    "fig19_scale002.txt": run_figure19,
+}
+
+
+@pytest.mark.parametrize("filename", sorted(EXPERIMENTS))
+def test_small_scale_rendering_matches_golden(filename):
+    with open(os.path.join(FIXTURES, filename)) as handle:
+        expected = handle.read().rstrip("\n")
+    actual = _render(EXPERIMENTS[filename](scale=GOLDEN_SCALE))
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(),
+                actual.splitlines(),
+                fromfile=f"fixtures/{filename}",
+                tofile="regenerated",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"{filename}: small-scale rendering diverged from the golden.\n"
+            f"{diff}\n"
+            "If the change is intentional, regenerate with\n"
+            "  PYTHONPATH=src python tools/gen_goldens.py\n"
+            "and refresh benchmarks/results/ at full scale too."
+        )
+
+
+def test_goldens_cover_the_published_machines():
+    """The fixtures exercise the same machine columns the published
+    full-scale results use, so format drift cannot hide."""
+    with open(os.path.join(FIXTURES, "table2_scale002.txt")) as handle:
+        table2 = handle.read()
+    assert "arb_32k" in table2 and "svc_4x8k" in table2
+    with open(os.path.join(FIXTURES, "fig19_scale002.txt")) as handle:
+        fig19 = handle.read()
+    for machine in ("svc_1c", "arb_1c", "arb_2c", "arb_3c", "arb_4c"):
+        assert machine in fig19

@@ -73,3 +73,38 @@ def test_run_points_empty_and_single():
     )
     (only,) = run_points([spec], workers=4)
     assert only.benchmark == "compress"
+
+
+def _double(x):
+    return x * 2
+
+
+def _boom(x):
+    raise ValueError(x)
+
+
+class TestParallelMap:
+    def test_serial_when_one_worker(self):
+        from repro.harness.parallel import parallel_map
+
+        assert parallel_map(_double, [1, 2, 3], workers=1) == [2, 4, 6]
+
+    def test_parallel_matches_serial_in_order(self):
+        from repro.harness.parallel import parallel_map
+
+        items = list(range(8))
+        assert parallel_map(_double, items, workers=3) == [
+            x * 2 for x in items
+        ]
+
+    def test_empty_and_singleton_stay_serial(self):
+        from repro.harness.parallel import parallel_map
+
+        assert parallel_map(_double, [], workers=4) == []
+        assert parallel_map(_double, [21], workers=4) == [42]
+
+    def test_worker_exception_propagates(self):
+        from repro.harness.parallel import parallel_map
+
+        with pytest.raises(ValueError):
+            parallel_map(_boom, [1], workers=2)

@@ -1,0 +1,110 @@
+"""Unit tests for the action-at-a-time schedule executor."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.hier.task import MemOp, TaskProgram
+from repro.modelcheck.executor import ScheduleExecutor, run_script
+from repro.modelcheck.programs import Bounds, bound_geometry
+from repro.oracle.sequential import SequentialOracle, verify_run
+from repro.replay import Case, build_system
+
+
+def _case(tasks, design="final", pus=2):
+    return Case(
+        design=design,
+        tasks=tuple(tasks),
+        geometry=bound_geometry(Bounds(pus=pus)),
+        schedule="script",
+        checker=True,
+        check_invariants=True,
+        n_caches=pus,
+    )
+
+
+def _executor(tasks, design="final", pus=2):
+    system = build_system(_case(tasks, design, pus))
+    return system, ScheduleExecutor(system, tasks)
+
+
+def _store(addr, value):
+    return TaskProgram(ops=[MemOp.store(addr, value, 4)])
+
+
+def _load(addr):
+    return TaskProgram(ops=[MemOp.load(addr, 4)])
+
+
+def test_initial_dispatch_fills_pus_in_rank_order():
+    tasks = [_store(0, 1), _load(0), _load(4)]
+    _, executor = _executor(tasks)
+    # Two PUs, three tasks: ranks 0 and 1 active, rank 2 waiting.
+    assert executor.enabled() == [("op", 0), ("op", 1)]
+
+
+def test_strict_apply_rejects_disabled_actions():
+    _, executor = _executor([_store(0, 1), _load(0)])
+    with pytest.raises(SimulationError):
+        executor.apply(("commit", 0))  # rank 0 has not finished its ops
+    with pytest.raises(SimulationError):
+        executor.apply(("op", 5))
+
+
+def test_lenient_apply_skips_disabled_actions():
+    _, executor = _executor([_store(0, 1), _load(0)])
+    assert executor.apply(("commit", 0), lenient=True) is False
+    assert executor.apply(("op", 0), lenient=True) is True
+
+
+def test_commit_is_head_only_and_frees_the_pu():
+    tasks = [_store(0, 7), _load(0), _load(4)]
+    _, executor = _executor(tasks)
+    executor.apply(("op", 1))  # rank 1 finishes first...
+    assert ("commit", 1) not in executor.enabled()  # ...but is not head
+    executor.apply(("op", 0))
+    assert ("commit", 0) in executor.enabled()
+    executor.apply(("commit", 0))
+    # Rank 0's PU is recycled to the waiting rank 2.
+    assert ("op", 2) in executor.enabled()
+
+
+def test_violation_squash_resets_the_reader():
+    tasks = [_store(0, 42), _load(0)]
+    _, executor = _executor(tasks)
+    executor.apply(("op", 1))  # premature load: use before definition
+    assert executor.progress[1].op_index == 1
+    executor.apply(("op", 0))  # the store detects the violation
+    state = executor.progress[1]
+    assert state.op_index == 0  # squashed back to the start
+    assert state.executions == 2
+    assert state.observed_loads == []
+
+
+def test_terminal_run_matches_the_sequential_oracle():
+    tasks = [_store(0, 42), _load(0)]
+    system, executor = _executor(tasks)
+    for action in [("op", 1), ("op", 0), ("commit", 0), ("op", 1), ("commit", 1)]:
+        executor.apply(action)
+    assert executor.terminal
+    report = executor.finish()
+    assert report.load_values == [[], [42]]
+    assert report.violation_squashes == 1
+    oracle = SequentialOracle().run(tasks)
+    assert verify_run(report, oracle, system.memory) == []
+
+
+def test_run_script_completes_partial_schedules():
+    tasks = [_store(0, 42), _load(0)]
+    system = build_system(_case(tasks))
+    # Only the premature load is scripted; completion is oldest-first.
+    report = run_script(system, tasks, [("op", 1)])
+    assert report.load_values == [[], [42]]
+    oracle = SequentialOracle().run(tasks)
+    assert verify_run(report, oracle, system.memory) == []
+
+
+def test_run_script_drives_the_arb_baseline_too():
+    tasks = [_store(0, 9), _load(0)]
+    system = build_system(_case(tasks, design="arb"))
+    report = run_script(system, tasks, [("op", 0), ("op", 1)])
+    assert report.load_values == [[], [9]]

@@ -1,0 +1,115 @@
+"""Unit tests for the exploration bound and program enumeration."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.hier.task import OpKind
+from repro.modelcheck.programs import (
+    Bounds,
+    bound_geometry,
+    count_programs,
+    enumerate_programs,
+    location_address,
+    store_value,
+)
+
+
+def test_bounds_defaults_exercise_pu_reuse():
+    bounds = Bounds()
+    assert bounds.pus == 2
+    # One more task than PUs, so some PU always runs two tasks.
+    assert bounds.n_tasks == 3
+    assert bounds.n_locations == bounds.lines * 2
+
+
+def test_bounds_tasks_override():
+    assert Bounds(tasks=2).n_tasks == 2
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [dict(pus=1), dict(ops=0), dict(lines=0), dict(tasks=0)],
+)
+def test_bounds_rejects_degenerate_values(kwargs):
+    with pytest.raises(ConfigError):
+        Bounds(**kwargs)
+
+
+def test_location_addresses_are_word_slots_of_lines():
+    # Two 4-byte word slots per 16-byte line.
+    assert [location_address(i) for i in range(4)] == [0, 4, 16, 20]
+
+
+@pytest.mark.parametrize("lines", [1, 2, 3])
+def test_bound_geometry_is_replacement_free(lines):
+    """Every distinct line of the bound fits one way of its set in every
+    cache — the soundness precondition of the symmetry reductions."""
+    bounds = Bounds(lines=lines)
+    geometry = bound_geometry(bounds)
+    # Worst case: all of the bound's lines land in a single set.
+    assert geometry.associativity >= bounds.lines
+    n_sets = geometry.size_bytes // (geometry.line_size * geometry.associativity)
+    assert n_sets * geometry.associativity >= bounds.lines
+    assert geometry.versioning_block_size == 4
+
+
+def test_store_values_are_distinct_labels():
+    values = {
+        store_value(rank, position)
+        for rank in range(4)
+        for position in range(4)
+    }
+    assert len(values) == 16
+
+
+def test_enumeration_count_is_stable():
+    """Pinned size of the canonical space at the smallest useful bound;
+    a change here means the enumeration (or a reduction) changed."""
+    bounds = Bounds(pus=2, ops=2, lines=1)
+    programs = list(enumerate_programs(bounds))
+    assert len(programs) == 54
+    assert count_programs(bounds) == 54
+
+
+def test_single_op_programs_are_canonical_only():
+    """With one op the only canonical location is line 0, word 0 — the
+    line-renaming and word-swap orbits collapse everything else onto it."""
+    bounds = Bounds(pus=2, ops=1, lines=2)
+    programs = list(enumerate_programs(bounds))
+    # 3 task slots x {load, store} at the single canonical location.
+    assert len(programs) == 6
+    for program in programs:
+        ops = [op for task in program for op in task.ops]
+        assert len(ops) == 1
+        assert ops[0].addr == 0
+
+
+def test_programs_respect_the_op_budget_and_task_count():
+    bounds = Bounds(pus=2, ops=3, lines=1)
+    for program in enumerate_programs(bounds):
+        assert len(program) == bounds.n_tasks
+        total = sum(len(task.memory_ops) for task in program)
+        assert 1 <= total <= bounds.ops
+        for task in program:
+            for op in task.ops:
+                assert op.kind in (OpKind.LOAD, OpKind.STORE)
+                assert op.addr in {location_address(i) for i in range(2)}
+
+
+def test_first_use_order_is_ascending():
+    """Canonical representatives use new lines, and new words within a
+    line, in ascending first-use order."""
+    bounds = Bounds(pus=2, ops=3, lines=2)
+    for program in enumerate_programs(bounds):
+        flat = [op.addr for task in program for op in task.memory_ops]
+        lines_seen = []
+        words_seen = {}
+        for addr in flat:
+            line, word = addr // 16, (addr % 16) // 4
+            if line not in lines_seen:
+                assert line == len(lines_seen)
+                lines_seen.append(line)
+            seen = words_seen.setdefault(line, [])
+            if word not in seen:
+                assert word == len(seen)
+                seen.append(word)

@@ -152,3 +152,52 @@ class TestShrink:
         shrunk = by_label["drop task 1"]
         assert len(shrunk.tasks) == 3
         assert shrunk.fault_plan.squash_at == ((2, 1),)
+
+
+class TestScriptedCases:
+    """Cases with an explicit schedule script (model-checker captures)."""
+
+    def _scripted(self, script, **overrides):
+        params = dict(
+            design="final",
+            tasks=simple_tasks(),
+            schedule="script",
+            n_caches=2,
+            check_invariants=True,
+            script=tuple(script),
+        )
+        params.update(overrides)
+        return Case(**params)
+
+    def test_script_and_mutation_round_trip(self):
+        case = self._scripted(
+            [("op", 0), ("op", 1)], mutation="no_violation_squash"
+        )
+        rebuilt = Case.from_dict(case.to_dict())
+        assert rebuilt == case
+        assert "script[2]" in case.describe()
+        assert "no_violation_squash" in case.describe()
+
+    def test_clean_scripted_case_passes(self):
+        result = run_case(self._scripted([("op", 1), ("op", 0)]))
+        assert result.ok, result.describe()
+
+    def test_scripted_replay_is_deterministic(self):
+        case = self._scripted([("op", 1), ("op", 0)])
+        assert (
+            run_case(case).report.load_values
+            == run_case(case).report.load_values
+        )
+
+    def test_candidates_drop_script_actions(self):
+        case = self._scripted([("op", 0), ("op", 1), ("commit", 0)])
+        by_label = dict(_shrink_candidates(case))
+        shrunk = by_label["drop script action 1"]
+        assert shrunk.script == (("op", 0), ("commit", 0))
+
+    def test_dropping_a_task_renumbers_script_ranks(self):
+        case = self._scripted([("op", 0), ("op", 1), ("commit", 0)])
+        by_label = dict(_shrink_candidates(case))
+        shrunk = by_label["drop task 0"]
+        # Rank 0's actions vanish; rank 1 becomes rank 0.
+        assert shrunk.script == (("op", 0),)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate the conformance-corpus fixtures in tests/conformance/.
+
+Run this after an *intentional* protocol change::
+
+    PYTHONPATH=src python tools/gen_conformance.py
+
+and commit the fixture diff together with the change — the diff of the
+event streams is the reviewable record of what the change did to the
+protocol's behavior. ``tests/conformance/test_event_streams.py`` fails
+whenever the live streams no longer match these files.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.conformance import (  # noqa: E402
+    CORPUS_VERSION,
+    event_stream,
+    stream_digest,
+)
+from repro.svc.designs import DESIGNS  # noqa: E402
+
+FIXTURES = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "conformance", "fixtures"
+)
+
+
+def main() -> int:
+    os.makedirs(FIXTURES, exist_ok=True)
+    digest_lines = [f"# conformance corpus v{CORPUS_VERSION}"]
+    for design in DESIGNS:
+        stream = event_stream(design)
+        path = os.path.join(FIXTURES, f"{design}.events")
+        with open(path, "w") as handle:
+            handle.write("\n".join(stream) + "\n")
+        digest = stream_digest(stream)
+        digest_lines.append(f"{design} {digest}")
+        print(f"{design:>6}: {len(stream)} events, sha256 {digest[:16]}...")
+    digest_path = os.path.join(FIXTURES, "digests.txt")
+    with open(digest_path, "w") as handle:
+        handle.write("\n".join(digest_lines) + "\n")
+    print(f"wrote {digest_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

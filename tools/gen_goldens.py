@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Regenerate the small-scale golden renderings in tests/harness/fixtures/.
+
+Run this after an *intentional* change to the timing model, the workload
+generator, or the report renderers::
+
+    PYTHONPATH=src python tools/gen_goldens.py
+
+and commit the fixture diff together with the change — and regenerate
+``benchmarks/results/`` at full scale at the same time, since the golden
+test exists precisely so those published renderings cannot silently rot
+while the pipeline underneath them drifts.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import _render  # noqa: E402
+from repro.harness.experiments import run_figure19, run_table2  # noqa: E402
+
+#: Small enough to run in ~1s; large enough that every benchmark emits
+#: non-trivial miss/IPC numbers.
+GOLDEN_SCALE = 0.02
+
+FIXTURES = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "harness", "fixtures"
+)
+
+EXPERIMENTS = {
+    "table2_scale002.txt": run_table2,
+    "fig19_scale002.txt": run_figure19,
+}
+
+
+def main() -> int:
+    os.makedirs(FIXTURES, exist_ok=True)
+    for filename, runner in EXPERIMENTS.items():
+        text = _render(runner(scale=GOLDEN_SCALE))
+        path = os.path.join(FIXTURES, filename)
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {path} ({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
