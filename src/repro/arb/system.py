@@ -25,6 +25,7 @@ from repro.common.events import EventLog
 from repro.common.stats import StatsRegistry
 from repro.mem.main_memory import MainMemory
 from repro.svc.system import AccessResult
+from repro.telemetry import COMMIT, OCCUPANCY_EDGES, SQUASH, wired
 
 
 def _byte_mask(offset: int, size: int) -> int:
@@ -41,6 +42,7 @@ class ARBSystem:
         memory: Optional[MainMemory] = None,
         event_log: Optional[EventLog] = None,
         checker=None,
+        telemetry=None,
     ) -> None:
         self.config = config if config is not None else ARBConfig()
         self.stats = StatsRegistry()
@@ -59,6 +61,14 @@ class ARBSystem:
             unit: None for unit in range(self.n_units)
         }
         self._committed_through = -1
+        #: None when absent or disabled (checked once here, so hot paths
+        #: pay a single ``is not None``).
+        self.telemetry = wired(telemetry)
+        self._tel_rows = None
+        if self.telemetry is not None:
+            self._tel_rows = self.telemetry.histogram(
+                "arb.rows_in_use", OCCUPANCY_EDGES, unit="rows"
+            )
         self.checker = checker
         if checker is not None:
             checker.bind(self)
@@ -127,28 +137,43 @@ class ARBSystem:
                 f"task {rank} is not the head ({self.head_rank()})"
             )
         self.stats.add("commits")
-        drained = 0
-        # Indexed walk: only the rows this rank touched, in the same
-        # allocation order a full buffer scan would visit them.
-        for row in self.buffer.rows_of_rank(rank):
-            entry = row.entries[rank]
-            if entry.store_mask:
-                for offset in range(WORD_SIZE):
-                    if entry.store_mask & (1 << offset):
-                        self.data_cache.write(
-                            row.word_addr + offset,
-                            bytes(entry.data[offset : offset + 1]),
-                        )
-                drained += 1
-            row.entries.pop(rank, None)
-            self.buffer.release_if_empty(row.word_addr)
-        self.buffer.drop_rank_index(rank)
-        self.stats.add("commit_stores_drained", drained)
-        self._task_of_unit[unit] = None
-        self._committed_through = rank
-        if self.event_log is not None:
-            self.event_log.emit("commit", source="arb", unit=unit, rank=rank)
-        return now + 1
+        telemetry = self.telemetry
+        span = None
+        if telemetry is not None:
+            self._tel_rows.observe(self.buffer.occupancy())
+            span = telemetry.begin(
+                COMMIT, f"commit rank {rank}", unit=unit, rank=rank, cycle=now
+            )
+        try:
+            drained = 0
+            # Indexed walk: only the rows this rank touched, in the same
+            # allocation order a full buffer scan would visit them.
+            for row in self.buffer.rows_of_rank(rank):
+                entry = row.entries[rank]
+                if entry.store_mask:
+                    for offset in range(WORD_SIZE):
+                        if entry.store_mask & (1 << offset):
+                            self.data_cache.write(
+                                row.word_addr + offset,
+                                bytes(entry.data[offset : offset + 1]),
+                            )
+                    drained += 1
+                row.entries.pop(rank, None)
+                self.buffer.release_if_empty(row.word_addr)
+            self.buffer.drop_rank_index(rank)
+            self.stats.add("commit_stores_drained", drained)
+            self._task_of_unit[unit] = None
+            self._committed_through = rank
+            if self.event_log is not None:
+                self.event_log.emit("commit", source="arb", unit=unit, rank=rank)
+            if span is not None:
+                telemetry.end(span, drained=drained)
+            return now + 1
+        finally:
+            if span is not None:
+                # Idempotent when already ended; closes descendants a
+                # raise left open.
+                telemetry.end(span)
 
     def squash_from_rank(self, rank: int, reason: str = "misprediction") -> List[int]:
         victims = sorted(
@@ -156,6 +181,12 @@ class ARBSystem:
             for unit, task in self.current_ranks().items()
             if task >= rank
         )
+        telemetry = self.telemetry
+        span = None
+        if telemetry is not None:
+            span = telemetry.begin(
+                SQUASH, f"squash from rank {rank}", rank=rank, reason=reason
+            )
         for task, unit in victims:
             self.buffer.clear_rank(task)
             self._task_of_unit[unit] = None
@@ -164,6 +195,8 @@ class ARBSystem:
                 self.event_log.emit(
                     "squash", source="arb", unit=unit, rank=task, reason=reason
                 )
+        if span is not None:
+            telemetry.end(span, victims=[task for task, _ in victims])
         return [task for task, _ in victims]
 
     # -- PU requests ------------------------------------------------------------

@@ -17,6 +17,7 @@ from repro.bus.requests import BusTransaction
 from repro.common.config import BusConfig
 from repro.common.events import EventLog
 from repro.common.stats import StatsRegistry
+from repro.telemetry import CYCLE_EDGES, wired
 
 
 class SnoopingBus:
@@ -28,6 +29,7 @@ class SnoopingBus:
         stats: Optional[StatsRegistry] = None,
         event_log: Optional[EventLog] = None,
         keep_history: bool = False,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.stats = stats if stats is not None else StatsRegistry()
@@ -38,6 +40,17 @@ class SnoopingBus:
         #: Fault injection (repro.faults): extra occupancy per request
         #: kind, e.g. ``{"wback": 2}`` models a slow next-level path.
         self.fault_extra_cycles: dict = {}
+        #: Telemetry histograms, resolved once at wiring time so
+        #: :meth:`reserve` pays only an ``is not None`` when disabled.
+        telemetry = wired(telemetry)
+        self._tel_wait = self._tel_occupancy = None
+        if telemetry is not None:
+            self._tel_wait = telemetry.histogram(
+                "bus.wait_cycles", CYCLE_EDGES, unit="cycles"
+            )
+            self._tel_occupancy = telemetry.histogram(
+                "bus.occupancy_cycles", CYCLE_EDGES, unit="cycles"
+            )
 
     def reserve(
         self,
@@ -69,6 +82,9 @@ class SnoopingBus:
         self.stats.add("bus_wait_cycles", start - now)
         if cache_to_cache:
             self.stats.add("bus_cache_to_cache")
+        if self._tel_wait is not None:
+            self._tel_wait.observe(start - now)
+            self._tel_occupancy.observe(cycles)
 
         transaction = BusTransaction(
             kind=kind,

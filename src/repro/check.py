@@ -33,6 +33,7 @@ from typing import Dict, List, Optional
 
 from repro.common.errors import InvariantViolation, ProtocolError
 from repro.common.events import ProtocolEvent
+from repro.telemetry import INVARIANT_VIOLATION
 
 #: Event kinds that trigger a check, per system family.
 _SVC_LINE_KINDS = frozenset({"bus"})
@@ -112,6 +113,20 @@ class InvariantChecker:
         except InvariantViolation as violation:
             if self.last_violation is None:
                 self.last_violation = violation
+            telemetry = getattr(self.system, "telemetry", None)
+            if telemetry is not None:
+                # Error-level instant + counter: the trace shows *where*
+                # in the span tree the invariant broke (filter on the
+                # "error" category in Perfetto).
+                telemetry.instant(
+                    INVARIANT_VIOLATION,
+                    f"invariant:{violation.invariant}",
+                    level="error",
+                    invariant=violation.invariant,
+                    subject=repr(violation.subject),
+                    event_kind=event.kind,
+                )
+                telemetry.counter("check.violations").inc()
             raise
 
     # -- helpers ------------------------------------------------------------

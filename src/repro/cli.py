@@ -8,6 +8,7 @@ Usage (any experiment from the registry)::
     python -m repro list
     python -m repro replay failure.json --shrink
     python -m repro modelcheck --pus 2 --ops 3 --lines 2
+    python -m repro trace fig19 --scale 0.02 --benchmarks compress
 
 Results print in the paper's row/series shape, with the published
 numbers alongside where the paper reports them, and can additionally be
@@ -62,7 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment id (see 'list'): "
         + ", ".join(sorted(set(EXPERIMENTS) | {"list"}))
         + "; or 'replay <capture.json>' to re-run a failure capture; "
-        "or 'modelcheck' for bounded exhaustive schedule exploration",
+        "or 'modelcheck' for bounded exhaustive schedule exploration; "
+        "or 'trace <experiment>' to run with telemetry and emit a "
+        "Perfetto-loadable Chrome trace",
     )
     parser.add_argument(
         "--benchmarks",
@@ -94,6 +97,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.modelcheck.runner import modelcheck_main
 
         return modelcheck_main(raw[1:])
+    if raw and raw[0] == "trace":
+        from repro.telemetry.trace_cli import trace_main
+
+        return trace_main(raw[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, runner in sorted(EXPERIMENTS.items()):

@@ -94,6 +94,13 @@ class EventLog:
         return index[-1] if index else None
 
     def clear(self) -> None:
+        """Drop all events, keeping observers attached.
+
+        The per-kind index MUST be cleared together with the event list:
+        a stale index would keep serving pre-clear events from
+        :meth:`of_kind`/:meth:`last` while ``__iter__``/``__len__`` say
+        the log is empty (tests/common/test_events.py pins this).
+        """
         self._events.clear()
         self._by_kind.clear()
 

@@ -66,11 +66,18 @@ def observe_run(
     schedule: str = "random",
     squash_probability: float = 0.0,
     fault_plan: Optional[FaultPlan] = None,
+    telemetry=None,
 ) -> RunObservation:
-    """One driver run over a fresh system, with every observable captured."""
+    """One driver run over a fresh system, with every observable captured.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry` or ``None``) is
+    deliberately *not* part of the observation: recording spans must
+    never perturb events, stats, load values or the memory image, and
+    :func:`compare_telemetry_modes` proves it.
+    """
     memory = MainMemory(config.miss_penalty_cycles)
     log = EventLog()
-    system = SVCSystem(config, memory=memory, event_log=log)
+    system = SVCSystem(config, memory=memory, event_log=log, telemetry=telemetry)
     driver = SpeculativeExecutionDriver(
         system,
         tasks,
@@ -141,6 +148,64 @@ def compare_directory_modes(
         mismatches.append(
             f"squash counts diverged: on ({on.violation_squashes}, "
             f"{on.injected_squashes}) != off ({off.violation_squashes}, "
+            f"{off.injected_squashes})"
+        )
+    return mismatches
+
+
+def compare_telemetry_modes(
+    tier: str,
+    tasks: List[TaskProgram],
+    seed: int = 0,
+    schedule: str = "random",
+    squash_probability: float = 0.0,
+    fault_plan: Optional[FaultPlan] = None,
+    base_config: Optional[SVCConfig] = None,
+) -> List[str]:
+    """Prove telemetry is a pure observer on one tier.
+
+    Runs the same seeded workload with telemetry recording and fully
+    unwired; every observable (event stream, stats, load values, memory
+    image, squash counts) must be byte-identical. Also sanity-checks
+    that the traced run actually produced spans — a silently-dead
+    recorder would make the comparison vacuous.
+    """
+    from repro.telemetry import Telemetry
+
+    config = design_config(tier, base_config or SVCConfig.paper_32kb())
+    kwargs = dict(
+        seed=seed,
+        schedule=schedule,
+        squash_probability=squash_probability,
+        fault_plan=fault_plan,
+    )
+    tel = Telemetry(label=f"differential/{tier}")
+    on = observe_run(config, tasks, telemetry=tel, **kwargs)
+    off = observe_run(config, tasks, telemetry=None, **kwargs)
+
+    mismatches: List[str] = []
+    if not tel.tracer.spans:
+        mismatches.append("traced run recorded no spans (telemetry dead?)")
+    if on.events != off.events:
+        mismatches.append(_first_event_divergence(on.events, off.events))
+    if on.stats != off.stats:
+        diff = {
+            key: (on.stats.get(key, 0), off.stats.get(key, 0))
+            for key in set(on.stats) | set(off.stats)
+            if on.stats.get(key, 0) != off.stats.get(key, 0)
+        }
+        mismatches.append(f"stats diverged (traced, plain): {diff}")
+    if on.load_values != off.load_values:
+        mismatches.append("committed load values diverged")
+    if on.image != off.image:
+        mismatches.append("final memory images diverged")
+    if (on.violation_squashes, on.injected_squashes) != (
+        off.violation_squashes,
+        off.injected_squashes,
+    ):
+        mismatches.append(
+            f"squash counts diverged: traced ({on.violation_squashes}, "
+            f"{on.injected_squashes}) != plain ({off.violation_squashes}, "
             f"{off.injected_squashes})"
         )
     return mismatches

@@ -18,6 +18,7 @@ from repro.common.config import ARBConfig, SVCConfig, UpdatePolicy
 from repro.harness.parallel import PointSpec, run_points
 from repro.svc.designs import design_config, final_design
 from repro.svc.system import SVCSystem
+from repro.telemetry import Telemetry
 from repro.timing.simulator import TimingReport, TimingSimulator
 from repro.workloads.spec95 import BENCHMARKS, spec95_tasks
 
@@ -59,6 +60,11 @@ class BenchmarkResult:
     instructions: int
     violation_squashes: int
     misprediction_squashes: int
+    #: Telemetry payload (:meth:`repro.telemetry.Telemetry.snapshot`)
+    #: when the point ran with telemetry enabled; picklable, so it
+    #: crosses the worker-process boundary and the exporters can merge
+    #: per-point payloads into one trace.
+    telemetry: Optional[Dict] = None
 
 
 @dataclass
@@ -76,16 +82,29 @@ class ExperimentResult:
         return None
 
 
+def _point_telemetry(
+    benchmark: str, machine: str, telemetry: Optional[bool]
+) -> Optional[Telemetry]:
+    """Tri-state wiring (see :class:`PointSpec`): ``None`` stays fully
+    unwired, ``False`` constructs a disabled facade (so the disabled-mode
+    overhead is measurable), ``True`` records."""
+    if telemetry is None:
+        return None
+    return Telemetry(label=f"{benchmark}/{machine}", enabled=telemetry)
+
+
 def _run_svc(
     benchmark: str,
     machine: str,
     config: SVCConfig,
     scale: Optional[float],
+    telemetry: Optional[bool] = None,
 ) -> BenchmarkResult:
     tasks = spec95_tasks(benchmark, scale)
-    system = SVCSystem(config)
+    tel = _point_telemetry(benchmark, machine, telemetry)
+    system = SVCSystem(config, telemetry=tel)
     report = TimingSimulator(system, tasks).run()
-    return _to_result(benchmark, machine, report)
+    return _to_result(benchmark, machine, report, tel)
 
 
 def _run_arb(
@@ -93,14 +112,21 @@ def _run_arb(
     machine: str,
     config: ARBConfig,
     scale: Optional[float],
+    telemetry: Optional[bool] = None,
 ) -> BenchmarkResult:
     tasks = spec95_tasks(benchmark, scale)
-    system = ARBSystem(config)
+    tel = _point_telemetry(benchmark, machine, telemetry)
+    system = ARBSystem(config, telemetry=tel)
     report = TimingSimulator(system, tasks).run()
-    return _to_result(benchmark, machine, report)
+    return _to_result(benchmark, machine, report, tel)
 
 
-def _to_result(benchmark: str, machine: str, report: TimingReport) -> BenchmarkResult:
+def _to_result(
+    benchmark: str,
+    machine: str,
+    report: TimingReport,
+    tel: Optional[Telemetry] = None,
+) -> BenchmarkResult:
     return BenchmarkResult(
         benchmark=benchmark,
         machine=machine,
@@ -111,6 +137,7 @@ def _to_result(benchmark: str, machine: str, report: TimingReport) -> BenchmarkR
         instructions=report.committed_instructions,
         violation_squashes=report.violation_squashes,
         misprediction_squashes=report.misprediction_squashes,
+        telemetry=tel.snapshot() if tel is not None and tel.enabled else None,
     )
 
 
@@ -118,16 +145,23 @@ def run_table2(
     benchmarks=BENCHMARKS,
     scale: Optional[float] = None,
     workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> ExperimentResult:
     """Table 2: miss ratios, ARB/32KB vs SVC 4x8KB."""
     result = ExperimentResult(experiment="table2", paper=PAPER_TABLE2)
     specs = []
     for name in benchmarks:
         specs.append(
-            PointSpec(name, "arb_32k", "arb", ARBConfig.paper_32kb(hit_cycles=1), scale)
+            PointSpec(
+                name, "arb_32k", "arb", ARBConfig.paper_32kb(hit_cycles=1),
+                scale, telemetry,
+            )
         )
         specs.append(
-            PointSpec(name, "svc_4x8k", "svc", final_design(SVCConfig.paper_32kb()), scale)
+            PointSpec(
+                name, "svc_4x8k", "svc", final_design(SVCConfig.paper_32kb()),
+                scale, telemetry,
+            )
         )
     result.points.extend(run_points(specs, workers))
     return result
@@ -137,16 +171,23 @@ def run_table3(
     benchmarks=BENCHMARKS,
     scale: Optional[float] = None,
     workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> ExperimentResult:
     """Table 3: SVC snooping-bus utilization at 4x8KB and 4x16KB."""
     result = ExperimentResult(experiment="table3", paper=PAPER_TABLE3)
     specs = []
     for name in benchmarks:
         specs.append(
-            PointSpec(name, "svc_4x8k", "svc", final_design(SVCConfig.paper_32kb()), scale)
+            PointSpec(
+                name, "svc_4x8k", "svc", final_design(SVCConfig.paper_32kb()),
+                scale, telemetry,
+            )
         )
         specs.append(
-            PointSpec(name, "svc_4x16k", "svc", final_design(SVCConfig.paper_64kb()), scale)
+            PointSpec(
+                name, "svc_4x16k", "svc", final_design(SVCConfig.paper_64kb()),
+                scale, telemetry,
+            )
         )
     result.points.extend(run_points(specs, workers))
     return result
@@ -159,13 +200,22 @@ def _run_figure(
     benchmarks,
     scale: Optional[float],
     workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(experiment=experiment)
     specs = []
     for name in benchmarks:
-        specs.append(PointSpec(name, "svc_1c", "svc", final_design(svc_config), scale))
+        specs.append(
+            PointSpec(
+                name, "svc_1c", "svc", final_design(svc_config), scale, telemetry
+            )
+        )
         for hit in (1, 2, 3, 4):
-            specs.append(PointSpec(name, f"arb_{hit}c", "arb", arb_factory(hit), scale))
+            specs.append(
+                PointSpec(
+                    name, f"arb_{hit}c", "arb", arb_factory(hit), scale, telemetry
+                )
+            )
     result.points.extend(run_points(specs, workers))
     return result
 
@@ -174,6 +224,7 @@ def run_figure19(
     benchmarks=BENCHMARKS,
     scale: Optional[float] = None,
     workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> ExperimentResult:
     """Figure 19: IPC, ARB (1-4 cycle hit) vs SVC (1 cycle), 32KB total."""
     return _run_figure(
@@ -183,6 +234,7 @@ def run_figure19(
         benchmarks,
         scale,
         workers,
+        telemetry,
     )
 
 
@@ -190,6 +242,7 @@ def run_figure20(
     benchmarks=BENCHMARKS,
     scale: Optional[float] = None,
     workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> ExperimentResult:
     """Figure 20: IPC, ARB (1-4 cycle hit) vs SVC (1 cycle), 64KB total."""
     return _run_figure(
@@ -199,6 +252,7 @@ def run_figure20(
         benchmarks,
         scale,
         workers,
+        telemetry,
     )
 
 
@@ -207,6 +261,7 @@ def run_ablation_designs(
     designs=("base", "ec", "ecs", "hr", "final"),
     scale: Optional[float] = None,
     workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> ExperimentResult:
     """Design progression ablation: what each section-3 step buys.
 
@@ -217,7 +272,7 @@ def run_ablation_designs(
     specs = [
         PointSpec(
             name, f"svc_{design}", "svc",
-            design_config(design, SVCConfig.paper_32kb()), scale,
+            design_config(design, SVCConfig.paper_32kb()), scale, telemetry,
         )
         for name in benchmarks
         for design in designs
@@ -230,13 +285,15 @@ def run_ablation_update_policy(
     benchmarks=("compress", "gcc", "mgrid"),
     scale: Optional[float] = None,
     workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> ExperimentResult:
     """Invalidate vs update vs hybrid coherence (section 3.8)."""
     result = ExperimentResult(experiment="ablation_update")
     specs = [
         PointSpec(
             name, f"svc_{policy}", "svc",
-            final_design(SVCConfig.paper_32kb(), update_policy=policy), scale,
+            final_design(SVCConfig.paper_32kb(), update_policy=policy),
+            scale, telemetry,
         )
         for name in benchmarks
         for policy in UpdatePolicy.ALL
@@ -250,6 +307,7 @@ def run_ablation_linesize(
     block_sizes=(4, 8, 16),
     scale: Optional[float] = None,
     workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> ExperimentResult:
     """RL design: versioning-block size vs false-sharing squashes."""
     from dataclasses import replace
@@ -267,7 +325,9 @@ def run_ablation_linesize(
                 versioning_block_size=vbs,
             )
             config = replace(final_design(SVCConfig.paper_32kb()), geometry=geometry)
-            specs.append(PointSpec(name, f"svc_vb{vbs}", "svc", config, scale))
+            specs.append(
+                PointSpec(name, f"svc_vb{vbs}", "svc", config, scale, telemetry)
+            )
     result.points.extend(run_points(specs, workers))
     return result
 
@@ -277,6 +337,7 @@ def run_ablation_scaling(
     pu_counts=(2, 4, 8),
     scale: Optional[float] = None,
     workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
 ) -> ExperimentResult:
     """Extension experiment: PU-count scaling of both organizations.
 
@@ -294,11 +355,17 @@ def run_ablation_scaling(
             svc_config = replace(
                 final_design(SVCConfig.paper_32kb()), n_caches=n_pus
             )
-            specs.append(PointSpec(name, f"svc_{n_pus}pu", "svc", svc_config, scale))
+            specs.append(
+                PointSpec(name, f"svc_{n_pus}pu", "svc", svc_config, scale, telemetry)
+            )
             arb_config = replace(
                 ARBConfig.paper_32kb(hit_cycles=2), n_stages=n_pus + 1
             )
-            specs.append(PointSpec(name, f"arb2c_{n_pus}pu", "arb", arb_config, scale))
+            specs.append(
+                PointSpec(
+                    name, f"arb2c_{n_pus}pu", "arb", arb_config, scale, telemetry
+                )
+            )
     result.points.extend(run_points(specs, workers))
     return result
 

@@ -44,6 +44,10 @@ class PointSpec:
     kind: str
     config: object
     scale: Optional[float] = None
+    #: Tri-state telemetry wiring: ``None`` = not wired at all (the
+    #: baseline fast path), ``False`` = wired but disabled (measures the
+    #: disabled-mode overhead), ``True`` = record spans and metrics.
+    telemetry: Optional[bool] = None
 
 
 def execute_point(spec: PointSpec):
@@ -55,9 +59,13 @@ def execute_point(spec: PointSpec):
     from repro.harness.experiments import _run_arb, _run_svc
 
     if spec.kind == "svc":
-        return _run_svc(spec.benchmark, spec.machine, spec.config, spec.scale)
+        return _run_svc(
+            spec.benchmark, spec.machine, spec.config, spec.scale, spec.telemetry
+        )
     if spec.kind == "arb":
-        return _run_arb(spec.benchmark, spec.machine, spec.config, spec.scale)
+        return _run_arb(
+            spec.benchmark, spec.machine, spec.config, spec.scale, spec.telemetry
+        )
     raise ValueError(f"unknown machine kind {spec.kind!r}")
 
 

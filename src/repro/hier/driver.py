@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 from repro.common.errors import ReplacementStall, SimulationError
 from repro.faults import FaultInjector, FaultPlan
 from repro.hier.task import OpKind, TaskProgram
+from repro.telemetry import RUN, SQUASH
 
 
 @dataclass
@@ -134,6 +135,9 @@ class SpeculativeExecutionDriver:
         #: by the deterministic schedules until something else progresses
         #: (prevents a youngest-first livelock on a stalled task).
         self._recently_stalled = set()
+        #: Telemetry, resolved once at wiring time from the system (the
+        #: system already applied :func:`repro.telemetry.wired`).
+        self._telemetry = getattr(system, "telemetry", None)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -183,6 +187,11 @@ class SpeculativeExecutionDriver:
         if not active:
             return
         victim = self.rng.choice(active)
+        if self._telemetry is not None:
+            self._telemetry.instant(
+                SQUASH, f"inject squash rank {victim}", rank=victim,
+                reason="misprediction",
+            )
         squashed = self.system.squash_from_rank(victim, reason="misprediction")
         self._injected += 1
         self._reset_squashed(squashed)
@@ -261,6 +270,30 @@ class SpeculativeExecutionDriver:
     # -- main loop ---------------------------------------------------------------
 
     def run(self) -> DriverReport:
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self._run_impl()
+        span = telemetry.begin(
+            RUN,
+            "functional run",
+            tasks=len(self.tasks),
+            schedule=self.schedule,
+        )
+        try:
+            report = self._run_impl()
+        finally:
+            # Closes the span and any descendants a raise left open.
+            telemetry.end(span)
+        telemetry.end(
+            span,
+            steps=report.steps,
+            violation_squashes=report.violation_squashes,
+            injected_squashes=report.injected_squashes,
+            replacement_stalls=report.replacement_stalls,
+        )
+        return report
+
+    def _run_impl(self) -> DriverReport:
         steps = 0
         last_progress = self._progress
         stalled_rounds = 0

@@ -122,6 +122,9 @@ class Case:
     #: after construction — how kill-switch counterexamples stay
     #: replayable from their capture file alone.
     mutation: Optional[str] = None
+    #: Record telemetry (spans + metrics) during the replay. Serialized
+    #: only when True, so existing capture files stay byte-identical.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.design not in CASE_DESIGNS:
@@ -152,6 +155,8 @@ class Case:
             data["script"] = [[kind, rank] for kind, rank in self.script]
         if self.mutation is not None:
             data["mutation"] = self.mutation
+        if self.telemetry:
+            data["telemetry"] = True
         return data
 
     @classmethod
@@ -174,6 +179,7 @@ class Case:
                 else None
             ),
             mutation=data.get("mutation"),
+            telemetry=data.get("telemetry", False),
         )
 
     def describe(self) -> str:
@@ -198,6 +204,11 @@ def build_system(case: Case):
         from repro.check import InvariantChecker
 
         checker = InvariantChecker()
+    telemetry = None
+    if case.telemetry:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(label=f"replay:{case.design}")
     if case.design == "arb":
         from repro.arb.system import ARBSystem
 
@@ -208,7 +219,7 @@ def build_system(case: Case):
                 size_bytes=256, associativity=1, line_size=16
             ),
         )
-        system = ARBSystem(config, checker=checker)
+        system = ARBSystem(config, checker=checker, telemetry=telemetry)
     else:
         from repro.svc.system import SVCSystem
 
@@ -220,7 +231,7 @@ def build_system(case: Case):
                 check_invariants=case.check_invariants,
             ),
         )
-        system = SVCSystem(config, checker=checker)
+        system = SVCSystem(config, checker=checker, telemetry=telemetry)
     if case.mutation is not None:
         from repro.modelcheck.mutations import MUTATIONS
 
@@ -245,6 +256,10 @@ class CaseResult:
     error_message: Optional[str] = None
     invariant: Optional[Dict] = None
     report: Optional[DriverReport] = None
+    #: Telemetry payload when the Case asked for it — populated on every
+    #: outcome, so a failing replay still yields a trace of the run up
+    #: to (and including) the violation instant.
+    telemetry: Optional[Dict] = None
 
     @property
     def signature(self) -> Optional[Tuple[str, str]]:
@@ -274,6 +289,11 @@ def run_case(case: Case) -> CaseResult:
     """
     system = build_system(case)
     tasks = list(case.tasks)
+
+    def payload() -> Optional[Dict]:
+        tel = getattr(system, "telemetry", None)
+        return tel.snapshot() if tel is not None else None
+
     try:
         if case.script is not None:
             from repro.modelcheck.executor import run_script
@@ -296,6 +316,7 @@ def run_case(case: Case) -> CaseResult:
             error_type=type(exc).__name__,
             error_message=str(exc),
             invariant=exc.to_dict(),
+            telemetry=payload(),
         )
     except SimulationError as exc:
         return CaseResult(
@@ -303,6 +324,7 @@ def run_case(case: Case) -> CaseResult:
             error_kind="simulation",
             error_type=type(exc).__name__,
             error_message=str(exc),
+            telemetry=payload(),
         )
     except ProtocolError as exc:
         return CaseResult(
@@ -310,10 +332,13 @@ def run_case(case: Case) -> CaseResult:
             error_kind="protocol",
             error_type=type(exc).__name__,
             error_message=str(exc),
+            telemetry=payload(),
         )
     oracle = SequentialOracle().run(tasks)
     problems = verify_run(report, oracle, system.memory)
-    return CaseResult(ok=not problems, problems=problems, report=report)
+    return CaseResult(
+        ok=not problems, problems=problems, report=report, telemetry=payload()
+    )
 
 
 # -- capture -----------------------------------------------------------------
@@ -550,6 +575,13 @@ def replay_main(argv: Optional[List[str]] = None) -> int:
         help="where to write the shrunken capture "
         "(default: <capture>.min.json)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="re-run with telemetry recording and write Chrome-trace + "
+        "metrics JSON artifacts into DIR",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -562,7 +594,28 @@ def replay_main(argv: Optional[List[str]] = None) -> int:
         return 2
     print(f"replaying {capture.case.describe()}")
     print(f"expected failure: {capture.failure['signature']}")
-    result = run_case(capture.case)
+    case = capture.case
+    if args.trace is not None:
+        case = dataclasses.replace(case, telemetry=True)
+    result = run_case(case)
+    if args.trace is not None and result.telemetry is not None:
+        from repro.telemetry.exporters import write_chrome_trace, write_metrics_json
+
+        os.makedirs(args.trace, exist_ok=True)
+        base = os.path.splitext(os.path.basename(args.capture))[0]
+        meta = {"capture": args.capture, "design": case.design}
+        trace_path = write_chrome_trace(
+            os.path.join(args.trace, f"{base}.trace.json"),
+            [result.telemetry],
+            meta,
+        )
+        metrics_path = write_metrics_json(
+            os.path.join(args.trace, f"{base}.metrics.json"),
+            [result.telemetry],
+            meta,
+        )
+        print(f"trace:   {trace_path}")
+        print(f"metrics: {metrics_path}")
     if result.ok:
         print("NOT REPRODUCED: the case passes in this build")
         return 1

@@ -30,6 +30,7 @@ from repro.svc.cache import ProbeOutcome, SVCCache
 from repro.svc.directory import VersionDirectory
 from repro.svc.line import LineState, SVCLine
 from repro.svc.vcl import VersionControlLogic
+from repro.telemetry import COMMIT, SQUASH, TASK_BEGIN, WB_DRAIN, wired
 
 
 @dataclass
@@ -53,16 +54,26 @@ class SVCSystem:
         memory: Optional[MainMemory] = None,
         event_log: Optional[EventLog] = None,
         checker=None,
+        telemetry=None,
     ) -> None:
         self.config = config if config is not None else SVCConfig()
         self.features = self.config.features
         self.geometry = self.config.geometry
         self.amap = self.geometry.address_map
         self.stats = StatsRegistry()
+        #: Opt-in tracing/metrics sink, normalized once at wiring time
+        #: (None unless present *and* enabled), so every hot path pays
+        #: a single ``is not None`` — never writes to stats/event_log.
+        self.telemetry = wired(telemetry)
         if checker is not None and event_log is None:
             event_log = EventLog()
         self.event_log = event_log
-        self.bus = SnoopingBus(self.config.bus, stats=self.stats, event_log=event_log)
+        self.bus = SnoopingBus(
+            self.config.bus,
+            stats=self.stats,
+            event_log=event_log,
+            telemetry=self.telemetry,
+        )
         self.memory = memory if memory is not None else MainMemory(
             self.config.miss_penalty_cycles
         )
@@ -139,6 +150,11 @@ class SVCSystem:
         self.caches[cache_id].begin_task(rank)
         self._active_ranks[cache_id] = rank
         self._rank_to_cache[rank] = cache_id
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                TASK_BEGIN, f"task {rank} -> cache {cache_id}",
+                cache=cache_id, rank=rank,
+            )
         if self.event_log is not None:
             self.event_log.emit("begin_task", source="svc", cache=cache_id, rank=rank)
 
@@ -157,29 +173,48 @@ class SVCSystem:
                 "commits must proceed in task order"
             )
         self.stats.add("commits")
-        if self.features.lazy_commit:
-            cache.flash_commit()
-            end = now + 1
-        else:
-            end = now
-            for line_addr, line in cache.dirty_active_lines():
-                transaction = self.bus.reserve(
-                    end, BusRequestKind.WBACK, cache_id, line_addr
-                )
-                self.vcl._write_blocks(
-                    line_addr, line, line.store_mask & line.valid_mask
-                )
-                end = transaction.end_cycle
-                self.stats.add("commit_writebacks")
-            cache.flash_invalidate_all()
-            cache.current_task = None
-        del self._active_ranks[cache_id]
-        del self._rank_to_cache[rank]
-        self._committed_through = rank
-        if self.event_log is not None:
-            self.event_log.emit(
-                "commit", source="svc", cache=cache_id, rank=rank, end=end
+        telemetry = self.telemetry
+        span = None
+        if telemetry is not None:
+            span = telemetry.begin(
+                COMMIT, f"commit rank {rank}", cache=cache_id, rank=rank, cycle=now
             )
+        try:
+            if self.features.lazy_commit:
+                cache.flash_commit()
+                end = now + 1
+            else:
+                end = now
+                writebacks = 0
+                drain = (
+                    telemetry.begin(WB_DRAIN, "eager commit writebacks")
+                    if telemetry is not None
+                    else None
+                )
+                for line_addr, line in cache.dirty_active_lines():
+                    transaction = self.bus.reserve(
+                        end, BusRequestKind.WBACK, cache_id, line_addr
+                    )
+                    self.vcl._write_blocks(
+                        line_addr, line, line.store_mask & line.valid_mask
+                    )
+                    end = transaction.end_cycle
+                    writebacks += 1
+                    self.stats.add("commit_writebacks")
+                if drain is not None:
+                    telemetry.end(drain, writebacks=writebacks)
+                cache.flash_invalidate_all()
+                cache.current_task = None
+            del self._active_ranks[cache_id]
+            del self._rank_to_cache[rank]
+            self._committed_through = rank
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "commit", source="svc", cache=cache_id, rank=rank, end=end
+                )
+        finally:
+            if span is not None:
+                telemetry.end(span)
         return end
 
     def squash_from_rank(self, rank: int, reason: str = "misprediction") -> List[int]:
@@ -190,23 +225,33 @@ class SVCSystem:
             for cache_id, task in self._active_ranks.items()
             if task >= rank
         )
-        for task, cache_id in victims:
-            cache = self.caches[cache_id]
-            if self.features.lazy_commit:
-                cache.flash_squash()
-            else:
-                cache.flash_invalidate_all()
-                cache.current_task = None
-            del self._active_ranks[cache_id]
-            del self._rank_to_cache[task]
-            self.stats.add(f"squashes_{reason}")
-        # Emit after *all* victims are flashed: observers (the invariant
-        # checker) must not see the half-squashed intermediate states.
-        if self.event_log is not None:
+        telemetry = self.telemetry
+        span = None
+        if telemetry is not None:
+            span = telemetry.begin(
+                SQUASH, f"squash from rank {rank}", rank=rank, reason=reason
+            )
+        try:
             for task, cache_id in victims:
-                self.event_log.emit(
-                    "squash", source="svc", cache=cache_id, rank=task, reason=reason
-                )
+                cache = self.caches[cache_id]
+                if self.features.lazy_commit:
+                    cache.flash_squash()
+                else:
+                    cache.flash_invalidate_all()
+                    cache.current_task = None
+                del self._active_ranks[cache_id]
+                del self._rank_to_cache[task]
+                self.stats.add(f"squashes_{reason}")
+            # Emit after *all* victims are flashed: observers (the invariant
+            # checker) must not see the half-squashed intermediate states.
+            if self.event_log is not None:
+                for task, cache_id in victims:
+                    self.event_log.emit(
+                        "squash", source="svc", cache=cache_id, rank=task, reason=reason
+                    )
+        finally:
+            if span is not None:
+                telemetry.end(span, victims=[task for task, _ in victims])
         return [task for task, _ in victims]
 
     # -- PU requests -------------------------------------------------------------

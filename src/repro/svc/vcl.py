@@ -37,6 +37,14 @@ from repro.svc.vol import (
     refresh_stale_bits,
     rewrite_pointers,
 )
+from repro.telemetry import (
+    BUS_TXN,
+    FANOUT_EDGES,
+    SNOOP,
+    VOL_REPAIR,
+    VOL_WALK,
+    WB_DRAIN,
+)
 
 MEMORY = "memory"
 CACHE = "cache"  # a version supplied speculative data
@@ -96,6 +104,27 @@ class VersionControlLogic:
     def _ranks(self) -> Dict[int, int]:
         return self.system.current_ranks()
 
+    def _snoop(self, line_addr: int, telemetry):
+        """Holder snapshot + rank map + VOL reconstruction for one bus
+        request, traced as a single snoop span with fan-out/VOL-length
+        histograms. ``telemetry=None`` is the plain fast path."""
+        if telemetry is None:
+            entries = self._entries(line_addr)
+            ranks = self._ranks()
+            return entries, ranks, build_vol(entries, ranks)
+        span = telemetry.begin(SNOOP, f"snoop {line_addr:#x}", line_addr=line_addr)
+        entries = self._entries(line_addr)
+        ranks = self._ranks()
+        vol = build_vol(entries, ranks)
+        telemetry.histogram(
+            "svc.snoop_fanout", FANOUT_EDGES, unit="caches"
+        ).observe(len(entries))
+        telemetry.histogram(
+            "svc.vol_length", FANOUT_EDGES, unit="versions"
+        ).observe(len(vol))
+        telemetry.end(span, holders=len(entries), vol_length=len(vol))
+        return entries, ranks, vol
+
     @staticmethod
     def _insertion_index(
         vol: List[int],
@@ -134,6 +163,12 @@ class VersionControlLogic:
         suppliers: Dict[int, Tuple[str, Optional[int]]] = {}
         memory_stamps = self.memory_stamps_for(line_addr)
         stamps: Dict[int, int] = {}
+        telemetry = self.system.telemetry
+        span = (
+            telemetry.begin(VOL_WALK, "supply walk", phase="supply", position=position)
+            if telemetry is not None
+            else None
+        )
         for block in amap.blocks_in_mask(need_mask):
             start = block * vbs
             supplier = closest_previous_writer(entries, vol, position, block)
@@ -152,6 +187,15 @@ class VersionControlLogic:
                     line_addr + start, vbs
                 )
                 suppliers[block] = (MEMORY, None)
+        if span is not None:
+            sources = [src for src, _ in suppliers.values()]
+            telemetry.end(
+                span,
+                blocks=len(suppliers),
+                from_versions=sources.count(CACHE),
+                from_clean=sources.count(CLEAN),
+                from_memory=sources.count(MEMORY),
+            )
         return data, suppliers, stamps
 
     def _write_blocks(self, line_addr: int, line: SVCLine, mask: int) -> None:
@@ -186,6 +230,18 @@ class VersionControlLogic:
         ]
         if not versions:
             return 0
+        telemetry = self.system.telemetry
+        span = (
+            telemetry.begin(
+                WB_DRAIN,
+                f"purge committed {line_addr:#x}",
+                line_addr=line_addr,
+                versions=len(versions),
+                retain_newest=retain_newest,
+            )
+            if telemetry is not None
+            else None
+        )
         newest = versions[-1]
         covered = 0
         flushes = 0
@@ -201,6 +257,8 @@ class VersionControlLogic:
                 line.written_back = True
             else:
                 self.system.caches[cache_id].drop(line_addr)
+        if span is not None:
+            telemetry.end(span, flushes=flushes)
         return flushes
 
     def _make_room(self, requestor: int, line_addr: int, now: int) -> int:
@@ -228,6 +286,22 @@ class VersionControlLogic:
     def _finalize(self, line_addr: int) -> None:
         """Post-transaction VOL repair: rewrite pointers, refresh T bits,
         and (in debug builds) check every protocol invariant."""
+        telemetry = self.system.telemetry
+        if telemetry is None:
+            self._finalize_impl(line_addr)
+            return
+        # try/finally because _finalize also runs outside any bus_txn
+        # span (silent evictions): a check_invariants raise must not
+        # leave this span open to adopt unrelated later spans.
+        span = telemetry.begin(
+            VOL_REPAIR, f"repair {line_addr:#x}", line_addr=line_addr
+        )
+        try:
+            self._finalize_impl(line_addr)
+        finally:
+            telemetry.end(span)
+
+    def _finalize_impl(self, line_addr: int) -> None:
         entries = self._entries(line_addr)
         ranks = self._ranks()
         vol = build_vol(entries, ranks)
@@ -307,18 +381,56 @@ class VersionControlLogic:
         self, requestor: int, line_addr: int, now: int
     ) -> Tuple[SVCLine, BusOutcome]:
         system = self.system
-        amap = system.amap
-        full = amap.full_mask
-        cache = system.caches[requestor]
         my_rank = system.task_rank(requestor)
         if my_rank is None:
             raise ProtocolError(f"cache {requestor} has no task for a BusRead")
-        # Room first: a ReplacementStall must abort before side effects.
+        # Room first: a ReplacementStall must abort before side effects —
+        # and before the transaction span opens, so a stalled (retried)
+        # request leaves no span for a transaction that never happened.
         now = max(now, self._make_room(requestor, line_addr, now))
+        telemetry = system.telemetry
+        if telemetry is None:
+            return self._bus_read_impl(requestor, line_addr, now, my_rank, None)
+        span = telemetry.begin(
+            BUS_TXN,
+            f"BusRead {line_addr:#x}",
+            request="read",
+            requestor=requestor,
+            line_addr=line_addr,
+            rank=my_rank,
+            cycle=now,
+        )
+        try:
+            line, outcome = self._bus_read_impl(
+                requestor, line_addr, now, my_rank, telemetry
+            )
+        finally:
+            # Closes the span and any descendants a raise left open.
+            telemetry.end(span)
+        telemetry.end(
+            span,
+            from_memory=outcome.from_memory,
+            cache_to_cache=outcome.cache_to_cache,
+            flushes=outcome.flushes,
+            snarfed=len(outcome.snarfed_caches),
+            end_cycle=outcome.end_cycle,
+        )
+        return line, outcome
 
-        entries = self._entries(line_addr)
-        ranks = self._ranks()
-        vol = build_vol(entries, ranks)
+    def _bus_read_impl(
+        self,
+        requestor: int,
+        line_addr: int,
+        now: int,
+        my_rank: int,
+        telemetry,
+    ) -> Tuple[SVCLine, BusOutcome]:
+        system = self.system
+        amap = system.amap
+        full = amap.full_mask
+        cache = system.caches[requestor]
+
+        entries, ranks, vol = self._snoop(line_addr, telemetry)
         own = entries.get(requestor)
         own_active = own is not None and not own.committed
 
@@ -498,20 +610,64 @@ class VersionControlLogic:
         now: int,
     ) -> Tuple[SVCLine, BusOutcome]:
         system = self.system
+        my_rank = system.task_rank(requestor)
+        if my_rank is None:
+            raise ProtocolError(f"cache {requestor} has no task for a BusWrite")
+        # Room first: a ReplacementStall must abort before side effects —
+        # and before the transaction span opens (see bus_read).
+        now = max(now, self._make_room(requestor, line_addr, now))
+        telemetry = system.telemetry
+        if telemetry is None:
+            return self._bus_write_impl(
+                requestor, line_addr, addr, size, value, now, my_rank, None
+            )
+        span = telemetry.begin(
+            BUS_TXN,
+            f"BusWrite {line_addr:#x}",
+            request="write",
+            requestor=requestor,
+            line_addr=line_addr,
+            rank=my_rank,
+            cycle=now,
+        )
+        try:
+            line, outcome = self._bus_write_impl(
+                requestor, line_addr, addr, size, value, now, my_rank, telemetry
+            )
+        finally:
+            # Closes the span and any descendants a raise left open.
+            telemetry.end(span)
+        telemetry.end(
+            span,
+            from_memory=outcome.from_memory,
+            cache_to_cache=outcome.cache_to_cache,
+            flushes=outcome.flushes,
+            invalidations=outcome.invalidations,
+            updates=outcome.updates,
+            squashed=len(outcome.squashed_ranks),
+            end_cycle=outcome.end_cycle,
+        )
+        return line, outcome
+
+    def _bus_write_impl(
+        self,
+        requestor: int,
+        line_addr: int,
+        addr: int,
+        size: int,
+        value: int,
+        now: int,
+        my_rank: int,
+        telemetry,
+    ) -> Tuple[SVCLine, BusOutcome]:
+        system = self.system
         amap = system.amap
         full = amap.full_mask
         vbs = amap.versioning_block_size
         cache = system.caches[requestor]
-        my_rank = system.task_rank(requestor)
-        if my_rank is None:
-            raise ProtocolError(f"cache {requestor} has no task for a BusWrite")
         block_mask = amap.block_mask(addr, size)
-        # Room first: a ReplacementStall must abort before side effects.
-        now = max(now, self._make_room(requestor, line_addr, now))
 
-        entries = self._entries(line_addr)
-        ranks = self._ranks()
-        vol = build_vol(entries, ranks)
+        entries, ranks, vol = self._snoop(line_addr, telemetry)
         own = entries.get(requestor)
         own_active = own is not None and not own.committed
 
@@ -581,13 +737,25 @@ class VersionControlLogic:
         squashed_ranks: List[int] = []
         invalidations = 0
         updates = 0
+        visited = 0
         exclusive_ok = True
         start_index = position + 1 if own_active else position
         blocks_remaining = full
+        window_span = (
+            telemetry.begin(
+                VOL_WALK,
+                "invalidation window",
+                phase="window",
+                start_index=start_index,
+            )
+            if telemetry is not None
+            else None
+        )
         for index in range(start_index, len(vol)):
             if not blocks_remaining:
                 break
             cache_id = vol[index]
+            visited += 1
             if cache_id == requestor:
                 raise ProtocolError("requestor encountered in its own window")
             line = entries[cache_id]
@@ -623,6 +791,14 @@ class VersionControlLogic:
                     # store must go to the bus to re-patch them.
                     exclusive_ok = False
             blocks_remaining &= ~barrier
+        if window_span is not None:
+            telemetry.end(
+                window_span,
+                visited=visited,
+                invalidations=invalidations,
+                updates=updates,
+                squashed=len(squashed_ranks),
+            )
 
         # Committed versions are purged when the requestor's own cache
         # holds committed state — the new version needs the way, and the
@@ -773,25 +949,52 @@ class VersionControlLogic:
             self._finalize(line_addr)
             return now
 
-        flushes = 0
-        if line.committed:
-            flushes += self._purge_committed(line_addr, retain_newest=False)
-        else:
-            if system.task_rank(cache_id) != system.head_rank():
-                raise ProtocolError(
-                    "only the head task may cast out an active dirty line"
-                )
-            flushes += self._purge_committed(line_addr, retain_newest=False)
-            self._write_blocks(line_addr, line, line.store_mask & line.valid_mask)
-            flushes += 1
-            cache.drop(line_addr)
-        # Repair before the bus event fires (see bus_read).
-        self._finalize(line_addr)
-        extra = system.bus.config.commit_flush_extra_cycles * max(0, flushes - 1)
-        transaction = system.bus.reserve(
-            now, BusRequestKind.WBACK, cache_id, line_addr, extra_cycles=extra
+        telemetry = system.telemetry
+        span = (
+            telemetry.begin(
+                BUS_TXN,
+                f"wback {line_addr:#x}",
+                request="wback",
+                requestor=cache_id,
+                line_addr=line_addr,
+                cycle=now,
+            )
+            if telemetry is not None
+            else None
         )
-        return transaction.end_cycle
+        try:
+            flushes = 0
+            if line.committed:
+                flushes += self._purge_committed(line_addr, retain_newest=False)
+            else:
+                if system.task_rank(cache_id) != system.head_rank():
+                    raise ProtocolError(
+                        "only the head task may cast out an active dirty line"
+                    )
+                flushes += self._purge_committed(line_addr, retain_newest=False)
+                self._write_blocks(
+                    line_addr, line, line.store_mask & line.valid_mask
+                )
+                flushes += 1
+                cache.drop(line_addr)
+            # Repair before the bus event fires (see bus_read).
+            self._finalize(line_addr)
+            extra = system.bus.config.commit_flush_extra_cycles * max(
+                0, flushes - 1
+            )
+            transaction = system.bus.reserve(
+                now, BusRequestKind.WBACK, cache_id, line_addr, extra_cycles=extra
+            )
+            if span is not None:
+                telemetry.end(
+                    span, flushes=flushes, end_cycle=transaction.end_cycle
+                )
+            return transaction.end_cycle
+        finally:
+            if span is not None:
+                # Idempotent when already ended; closes descendants a
+                # raise left open.
+                telemetry.end(span)
 
     def drain(self) -> None:
         """End-of-run flush of every committed version to memory."""

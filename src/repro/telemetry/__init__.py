@@ -1,0 +1,178 @@
+"""Unified telemetry: span tracing, metrics, and trace/metrics export.
+
+The observability substrate for the whole reproduction. One
+:class:`Telemetry` object bundles
+
+* a :class:`~repro.telemetry.tracer.Tracer` — nested spans with causal
+  parent links around every protocol transaction (bus transactions,
+  VCL snoop resolution, VOL walks and repairs, commit/squash waves,
+  writeback drains), plus point-in-time instants, and
+* a :class:`~repro.telemetry.metrics.MetricsRegistry` — counters,
+  gauges and bounded histograms (snoop fan-out, VOL length at access,
+  MSHR occupancy, bus wait cycles, ...).
+
+Exporters (:mod:`repro.telemetry.exporters`) turn snapshots into Chrome
+``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``), a
+flat metrics JSON, and a terminal summary; ``python -m repro trace
+<experiment>`` runs any experiment with tracing on and emits all three.
+
+Cost model — near-zero when off, checked once at wiring time
+------------------------------------------------------------
+
+Components never test an ``enabled`` flag per event. They normalize at
+construction::
+
+    self.telemetry = wired(telemetry)   # None unless enabled
+
+and every hot path then pays a single ``is not None`` test, exactly the
+pattern the ``event_log=None`` plumbing already uses. A disabled
+``Telemetry(enabled=False)`` wires to ``None``, so "telemetry compiled
+in but off" and "no telemetry" are byte-identical code paths — which is
+what lets ``tools/bench_perf.py`` assert the disabled-mode overhead.
+
+Determinism
+-----------
+
+Span timestamps come from a logical tick clock (one tick per span
+begin/end/instant), not wall time, so the same run always emits the
+same trace and Perfetto's containment-based nesting is exact. Simulated
+cycle numbers ride along as span args. Telemetry never writes to the
+:class:`~repro.common.events.EventLog` or
+:class:`~repro.common.stats.StatsRegistry`: event streams and stats are
+bit-identical with telemetry on or off (enforced by the differential
+tests across all six design tiers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.metrics import (
+    CYCLE_EDGES,
+    FANOUT_EDGES,
+    OCCUPANCY_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import Span, Tracer
+
+# -- span kind taxonomy (docs/OBSERVABILITY.md documents each) ---------------
+
+#: One bus transaction: BusRead, BusWrite or a cast-out writeback.
+BUS_TXN = "bus_txn"
+#: VCL snoop resolution: holder snapshot + VOL reconstruction.
+SNOOP = "snoop"
+#: A walk along the VOL: version supply composition or the store's
+#: invalidation window.
+VOL_WALK = "vol_walk"
+#: Post-transaction VOL repair (pointer rewrite, T-bit refresh, checks).
+VOL_REPAIR = "vol_repair"
+#: Committed-version purge: writebacks draining to next-level memory.
+WB_DRAIN = "wb_drain"
+#: One head-task commit wave.
+COMMIT = "commit"
+#: One squash wave (violation, misprediction, fault or ARB reclaim).
+SQUASH = "squash"
+#: One PU memory operation as seen by the timing simulator.
+MEM_OP = "mem_op"
+#: Whole-run envelope span (timing simulator / functional driver).
+RUN = "run"
+#: Instant: a task began on a cache/PU.
+TASK_BEGIN = "task_begin"
+#: Error-level instant: the runtime invariant checker tripped.
+INVARIANT_VIOLATION = "invariant_violation"
+
+
+class Telemetry:
+    """One run's tracer + metrics, with convenience passthroughs."""
+
+    __slots__ = ("label", "enabled", "tracer", "metrics")
+
+    def __init__(self, label: str = "run", enabled: bool = True) -> None:
+        self.label = label
+        self.enabled = enabled
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    # -- tracing passthroughs ------------------------------------------------
+
+    def begin(self, kind: str, name: Optional[str] = None, **args) -> Span:
+        return self.tracer.begin(kind, name, **args)
+
+    def end(self, span: Span, level: Optional[str] = None, **args) -> None:
+        self.tracer.end(span, level=level, **args)
+
+    def span(self, kind: str, name: Optional[str] = None, **args):
+        return self.tracer.span(kind, name, **args)
+
+    def instant(
+        self, kind: str, name: Optional[str] = None, level: str = "info", **args
+    ) -> Span:
+        return self.tracer.instant(kind, name, level=level, **args)
+
+    # -- metrics passthroughs ------------------------------------------------
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        return self.metrics.counter(name, unit)
+
+    def gauge(self, name: str, unit: str = "") -> Gauge:
+        return self.metrics.gauge(name, unit)
+
+    def histogram(self, name: str, edges, unit: str = "") -> Histogram:
+        return self.metrics.histogram(name, edges, unit)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Picklable, JSON-safe payload: everything an exporter needs.
+
+        This is what crosses process boundaries when experiments fan out
+        over workers — the exporters merge a list of these into one
+        coherent trace (one Chrome-trace process per payload).
+        """
+        return {
+            "label": self.label,
+            "clock": self.tracer.clock,
+            "spans": [span.to_dict() for span in self.tracer.spans],
+            "metrics": self.metrics.snapshot(),
+        }
+
+
+def wired(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Normalize a telemetry argument once, at component wiring time.
+
+    Returns ``telemetry`` only when it is present *and* enabled, else
+    ``None`` — so hot paths test a single ``is not None`` and a disabled
+    sink costs exactly as much as no sink at all.
+    """
+    if telemetry is None or not telemetry.enabled:
+        return None
+    return telemetry
+
+
+__all__ = [
+    "BUS_TXN",
+    "COMMIT",
+    "CYCLE_EDGES",
+    "FANOUT_EDGES",
+    "INVARIANT_VIOLATION",
+    "MEM_OP",
+    "OCCUPANCY_EDGES",
+    "RUN",
+    "SNOOP",
+    "SQUASH",
+    "TASK_BEGIN",
+    "VOL_REPAIR",
+    "VOL_WALK",
+    "WB_DRAIN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "wired",
+]

@@ -1,0 +1,274 @@
+"""Counters, gauges and bounded histograms for protocol metrics.
+
+Deliberately separate from :class:`repro.common.stats.StatsRegistry`:
+the stats registry is part of the *observable protocol surface* (the
+differential harnesses and conformance fixtures pin its exact
+contents), so telemetry must never write to it. These metrics live on
+the opt-in :class:`repro.telemetry.Telemetry` object and add
+distribution shape — histograms with fixed bucket edges — that flat
+counters cannot express (snoop fan-out, VOL length at access, MSHR
+occupancy, bus wait cycles).
+
+Histograms are *bounded*: edges are fixed at creation, observation is
+an O(log buckets) bisect into preallocated integer counts, and memory
+never grows with the number of observations — safe to leave attached
+to multi-million-event runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import ReproError
+
+#: Default edges for small-cardinality distributions (snoop fan-out,
+#: VOL length): one bucket per interesting value, then powers of two.
+FANOUT_EDGES: Tuple[int, ...] = (0, 1, 2, 3, 4, 8, 16)
+
+#: Default edges for cycle-valued distributions (bus wait, occupancy).
+CYCLE_EDGES: Tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32, 64)
+
+#: Default edges for queue/buffer occupancy (MSHRs, writeback buffers).
+OCCUPANCY_EDGES: Tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32)
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "unit", "value")
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> Dict:
+        return {"unit": self.unit, "value": self.value}
+
+
+class Gauge:
+    """Last-written value, with min/max/sample-count envelope."""
+
+    __slots__ = ("name", "unit", "value", "vmin", "vmax", "samples")
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.value = 0
+        self.vmin = None
+        self.vmax = None
+        self.samples = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        self.vmin = value if self.vmin is None else min(self.vmin, value)
+        self.vmax = value if self.vmax is None else max(self.vmax, value)
+        self.samples += 1
+
+    def to_dict(self) -> Dict:
+        return {
+            "unit": self.unit,
+            "value": self.value,
+            "min": self.vmin,
+            "max": self.vmax,
+            "samples": self.samples,
+        }
+
+
+class Histogram:
+    """Bounded histogram with inclusive upper-bound bucket edges.
+
+    ``edges = (a, b, c)`` yields buckets ``v <= a``, ``a < v <= b``,
+    ``b < v <= c`` and an overflow bucket ``v > c`` — ``counts`` always
+    has ``len(edges) + 1`` slots. Totals, min and max ride along so
+    summaries can report a mean without keeping samples.
+    """
+
+    __slots__ = ("name", "unit", "edges", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str, edges: Sequence[int], unit: str = "") -> None:
+        edges = tuple(edges)
+        if not edges:
+            raise ReproError(f"histogram {name!r} needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ReproError(
+                f"histogram {name!r} edges must be strictly increasing: {edges}"
+            )
+        self.name = name
+        self.unit = unit
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0
+        self.vmin = None
+        self.vmax = None
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        self.vmin = value if self.vmin is None else min(self.vmin, value)
+        self.vmax = value if self.vmax is None else max(self.vmax, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "unit": self.unit,
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by metric name.
+
+    A name is permanently bound to one metric type (and, for
+    histograms, one edge tuple): a conflicting re-registration is a
+    programming error and raises rather than silently splitting data.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is not None and not isinstance(metric, cls):
+            raise ReproError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        metric = self._get(name, Counter)
+        if metric is None:
+            metric = Counter(name, unit)
+            self._metrics[name] = metric
+        return metric
+
+    def gauge(self, name: str, unit: str = "") -> Gauge:
+        metric = self._get(name, Gauge)
+        if metric is None:
+            metric = Gauge(name, unit)
+            self._metrics[name] = metric
+        return metric
+
+    def histogram(self, name: str, edges: Sequence[int], unit: str = "") -> Histogram:
+        metric = self._get(name, Histogram)
+        if metric is None:
+            metric = Histogram(name, edges, unit)
+            self._metrics[name] = metric
+        elif metric.edges != tuple(edges):
+            raise ReproError(
+                f"histogram {name!r} already registered with edges "
+                f"{metric.edges}, not {tuple(edges)}"
+            )
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-safe dump, grouped by metric type, names sorted."""
+        out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.to_dict()
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.to_dict()
+            else:
+                out["histograms"][name] = metric.to_dict()
+        return out
+
+
+def merge_metric_snapshots(snapshots: List[Dict]) -> Dict:
+    """Combine per-worker metric snapshots into one aggregate.
+
+    Counters and histogram counts/totals add; gauge and histogram
+    min/max envelopes widen; histogram edges must agree (they come from
+    the same wiring code, so a mismatch means incompatible payloads).
+    """
+    merged: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        for name, data in snap.get("counters", {}).items():
+            entry = merged["counters"].setdefault(
+                name, {"unit": data.get("unit", ""), "value": 0}
+            )
+            entry["value"] += data["value"]
+        for name, data in snap.get("gauges", {}).items():
+            entry = merged["gauges"].setdefault(
+                name,
+                {
+                    "unit": data.get("unit", ""),
+                    "value": data["value"],
+                    "min": None,
+                    "max": None,
+                    "samples": 0,
+                },
+            )
+            entry["value"] = data["value"]
+            for key, pick in (("min", min), ("max", max)):
+                if data.get(key) is not None:
+                    entry[key] = (
+                        data[key]
+                        if entry[key] is None
+                        else pick(entry[key], data[key])
+                    )
+            entry["samples"] += data.get("samples", 0)
+        for name, data in snap.get("histograms", {}).items():
+            entry = merged["histograms"].get(name)
+            if entry is None:
+                entry = {
+                    "unit": data.get("unit", ""),
+                    "edges": list(data["edges"]),
+                    "counts": [0] * len(data["counts"]),
+                    "count": 0,
+                    "total": 0,
+                    "min": None,
+                    "max": None,
+                }
+                merged["histograms"][name] = entry
+            if entry["edges"] != list(data["edges"]):
+                raise ReproError(
+                    f"cannot merge histogram {name!r}: edges "
+                    f"{entry['edges']} vs {data['edges']}"
+                )
+            entry["counts"] = [
+                a + b for a, b in zip(entry["counts"], data["counts"])
+            ]
+            entry["count"] += data["count"]
+            entry["total"] += data["total"]
+            for key, pick in (("min", min), ("max", max)):
+                if data.get(key) is not None:
+                    entry[key] = (
+                        data[key]
+                        if entry[key] is None
+                        else pick(entry[key], data[key])
+                    )
+    return merged
+
+
+__all__ = [
+    "CYCLE_EDGES",
+    "FANOUT_EDGES",
+    "OCCUPANCY_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_metric_snapshots",
+]

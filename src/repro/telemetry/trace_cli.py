@@ -1,0 +1,126 @@
+"""``python -m repro trace <experiment>``: run an experiment traced.
+
+Runs any experiment from the registry with telemetry enabled on every
+point, merges the per-point (possibly per-worker-process) payloads, and
+writes
+
+* ``<out>/<experiment>.trace.json``   — Chrome trace (open in Perfetto
+  at https://ui.perfetto.dev, or ``chrome://tracing``),
+* ``<out>/<experiment>.metrics.json`` — flat + merged metrics,
+
+then prints the terminal summary. Example::
+
+    python -m repro trace fig19 --scale 0.02 --benchmarks compress
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.telemetry.exporters import (
+    render_summary,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.workloads.spec95 import BENCHMARKS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run an experiment with telemetry enabled and emit "
+        "Chrome-trace + metrics JSON artifacts.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated SPEC95 benchmark subset "
+        f"(all = {','.join(BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale factor (default: REPRO_SCALE or 1.0)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-parallel fan-out width (0 = one per CPU; "
+        "default: REPRO_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default="traces",
+        help="directory for the emitted artifacts (default: traces/)",
+    )
+    return parser
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; choose from "
+            f"{sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    kwargs = {"telemetry": True}
+    if args.benchmarks:
+        requested = tuple(name.strip() for name in args.benchmarks.split(","))
+        unknown = [name for name in requested if name not in BENCHMARKS]
+        if unknown:
+            print(f"unknown benchmarks: {unknown}", file=sys.stderr)
+            return 2
+        kwargs["benchmarks"] = requested
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+
+    started = time.time()
+    result = EXPERIMENTS[args.experiment](**kwargs)
+    elapsed = time.time() - started
+    payloads = [point.telemetry for point in result.points if point.telemetry]
+    if not payloads:
+        print("experiment produced no telemetry payloads", file=sys.stderr)
+        return 1
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    meta = {
+        "experiment": args.experiment,
+        "points": len(result.points),
+        "scale": args.scale,
+        "benchmarks": list(kwargs.get("benchmarks", BENCHMARKS)),
+    }
+    trace_path = write_chrome_trace(
+        os.path.join(args.output_dir, f"{args.experiment}.trace.json"),
+        payloads,
+        meta,
+    )
+    metrics_path = write_metrics_json(
+        os.path.join(args.output_dir, f"{args.experiment}.metrics.json"),
+        payloads,
+        meta,
+    )
+    print(f"== trace {args.experiment} ({elapsed:.1f}s) ==")
+    print(render_summary(payloads))
+    print(f"trace:   {trace_path}  (load in https://ui.perfetto.dev)")
+    print(f"metrics: {metrics_path}")
+    return 0
+
+
+__all__ = ["trace_main"]

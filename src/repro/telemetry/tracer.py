@@ -1,0 +1,191 @@
+"""Span-based tracer with causal parent links and a logical clock.
+
+A :class:`Span` is one traced operation; spans nest by call structure.
+The tracer keeps an explicit stack of open spans: ``begin`` links the
+new span to the innermost open one (its causal parent) and pushes it,
+``end`` pops it. Because every protocol layer in this repository runs
+synchronously on one thread, the open-span stack *is* the causal call
+chain — a VOL walk that runs inside a bus transaction gets that
+transaction as its parent with no plumbing through intermediate
+signatures.
+
+Timestamps are **logical ticks**: a counter that advances by one at
+every begin, end and instant. Two properties follow:
+
+* determinism — the same run emits the same trace, byte for byte, so
+  traces can be diffed and pinned in tests (wall clocks cannot), and
+* strict containment — a child's ``[start, end]`` interval always nests
+  strictly inside its parent's, which is exactly what Chrome-trace
+  viewers use to reconstruct nesting per track.
+
+Simulated cycle numbers are not timestamps here; layers attach them as
+span args (``cycle=...``) where they are meaningful.
+
+``end`` is robust to exception unwinding: ending a span closes any
+still-open descendants first (innermost first), so a protocol error
+thrown mid-transaction cannot leave the stack polluted and silently
+reparent every later span.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Span severity levels, in increasing order.
+LEVELS = ("info", "warning", "error")
+
+
+@dataclass
+class Span:
+    """One traced operation (or instant, when ``end == start``)."""
+
+    span_id: int
+    parent_id: Optional[int]
+    kind: str
+    name: str
+    start: int
+    end: Optional[int] = None
+    level: str = "info"
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_instant(self) -> bool:
+        """Zero-duration marker: real spans always tick between begin
+        and end, so only instants can have ``end == start``."""
+        return self.end == self.start
+
+    @property
+    def duration(self) -> Optional[int]:
+        return None if self.end is None else self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "kind": self.kind,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "level": self.level,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        return cls(
+            span_id=data["id"],
+            parent_id=data.get("parent"),
+            kind=data["kind"],
+            name=data["name"],
+            start=data["start"],
+            end=data.get("end"),
+            level=data.get("level", "info"),
+            args=dict(data.get("args", {})),
+        )
+
+
+class Tracer:
+    """Collects spans for one run. Not thread-safe by design: the
+    simulation is single-threaded and parallel experiment points each
+    build their own system (and tracer) inside their worker process."""
+
+    __slots__ = ("spans", "_stack", "_clock", "_next_id")
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._clock = 0
+        self._next_id = 1
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open spans (0 when quiescent)."""
+        return len(self._stack)
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    # -- spans ---------------------------------------------------------------
+
+    def begin(self, kind: str, name: Optional[str] = None, **args) -> Span:
+        """Open a span; its parent is the innermost span still open."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent,
+            kind=kind,
+            name=name if name is not None else kind,
+            start=self._tick(),
+            args=args,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, level: Optional[str] = None, **args) -> None:
+        """Close ``span``, first closing any still-open descendants
+        (an exception that unwound past their ``end`` calls). Ending a
+        span that is already closed only merges args/level (idempotent).
+        """
+        if span in self._stack:
+            while self._stack:
+                top = self._stack.pop()
+                if top.end is None:
+                    top.end = self._tick()
+                if top is span:
+                    break
+        elif span.end is None:
+            # Orphaned begin (its ancestor was force-closed): stamp it.
+            span.end = self._tick()
+        if args:
+            span.args.update(args)
+        if level is not None:
+            span.level = level
+
+    @contextmanager
+    def span(self, kind: str, name: Optional[str] = None, **args):
+        """``with tracer.span(...) as s:`` — always-closed span."""
+        opened = self.begin(kind, name, **args)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    def instant(
+        self, kind: str, name: Optional[str] = None, level: str = "info", **args
+    ) -> Span:
+        """Record a point-in-time marker under the current open span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        tick = self._tick()
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent,
+            kind=kind,
+            name=name if name is not None else kind,
+            start=tick,
+            end=tick,
+            level=level,
+            args=args,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    # -- queries (tests, summaries) ------------------------------------------
+
+    def of_kind(self, kind: str) -> List[Span]:
+        return [span for span in self.spans if span.kind == kind]
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+
+__all__ = ["LEVELS", "Span", "Tracer"]

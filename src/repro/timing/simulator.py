@@ -24,6 +24,7 @@ from repro.common.errors import ReplacementStall, SimulationError
 from repro.faults import FaultInjector, FaultPlan
 from repro.hier.task import OpKind, TaskProgram
 from repro.mem.mshr import MSHRFile
+from repro.telemetry import MEM_OP, OCCUPANCY_EDGES, RUN
 from repro.timing.pu import PUTaskTiming
 
 #: Cycles to wait before retrying a structurally stalled memory op.
@@ -147,6 +148,15 @@ class TimingSimulator:
         self._stall_streak: Dict[int, int] = {
             pu: 0 for pu in range(self.processor.n_pus)
         }
+        #: Telemetry, resolved once at wiring time from the system (the
+        #: system already applied :func:`repro.telemetry.wired`), so the
+        #: memory-event hot path pays a single ``is not None`` check.
+        self._telemetry = getattr(system, "telemetry", None)
+        self._tel_mshr = None
+        if self._telemetry is not None:
+            self._tel_mshr = self._telemetry.histogram(
+                "mshr.occupancy", OCCUPANCY_EDGES, unit="entries"
+            )
 
     # -- event plumbing ---------------------------------------------------------
 
@@ -248,6 +258,18 @@ class TimingSimulator:
                 self.system.bus.reserve(
                     now, "fault", None, self.system.amap.line_address(op.addr)
                 )
+        telemetry = self._telemetry
+        span = None
+        if telemetry is not None:
+            self._tel_mshr.observe(mshrs.in_flight())
+            span = telemetry.begin(
+                MEM_OP,
+                f"{'load' if op.kind == OpKind.LOAD else 'store'} {op.addr:#x}",
+                pu=pu,
+                rank=state.rank,
+                addr=op.addr,
+                cycle=now,
+            )
         try:
             if op.kind == OpKind.LOAD:
                 result = self.system.load(pu, op.addr, op.size, now=now)
@@ -258,6 +280,8 @@ class TimingSimulator:
                 # by construction) would see them a cycle later.
                 end = now + 1
         except ReplacementStall as stall:
+            if span is not None:
+                telemetry.end(span, stalled=True)
             self._stall_retries += 1
             self._stall_streak[pu] += 1
             if self._stall_streak[pu] > _WATCHDOG_STALL_STREAK:
@@ -265,6 +289,8 @@ class TimingSimulator:
             state.defer_mem(now + _STALL_RETRY)
             self._schedule(pu, now + _STALL_RETRY)
             return
+        if span is not None:
+            telemetry.end(span, hit=result.hit, end_cycle=end)
         self._stall_streak[pu] = 0
         self._executed_memory_ops += 1
         if not result.hit:
@@ -321,6 +347,30 @@ class TimingSimulator:
     # -- main loop ----------------------------------------------------------------------------
 
     def run(self) -> TimingReport:
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self._run_impl()
+        span = telemetry.begin(
+            RUN,
+            "timing run",
+            tasks=len(self.tasks),
+            pus=self.processor.n_pus,
+        )
+        try:
+            report = self._run_impl()
+        finally:
+            # Closes the span and any descendants a raise left open.
+            telemetry.end(span)
+        telemetry.end(
+            span,
+            cycles=report.cycles,
+            committed_instructions=report.committed_instructions,
+            violation_squashes=report.violation_squashes,
+            misprediction_squashes=report.misprediction_squashes,
+        )
+        return report
+
+    def _run_impl(self) -> TimingReport:
         for pu in range(self.processor.n_pus):
             self._dispatch(pu, pu)  # sequencer dispatches one task per cycle
         guard = 0

@@ -30,3 +30,36 @@ def test_clear():
     log.emit("x", source="y")
     log.clear()
     assert len(log) == 0
+
+
+def test_clear_invalidates_per_kind_index():
+    """clear() must drop the by-kind index with the event list — a stale
+    index would keep serving pre-clear events from of_kind()/last()."""
+    log = EventLog()
+    log.emit("squash", source="svc", rank=1)
+    log.emit("commit", source="svc", rank=0)
+    log.clear()
+    assert log.of_kind("squash") == []
+    assert log.last("squash") is None
+    assert log.last("commit") is None
+    assert log.last() is None
+
+
+def test_emit_after_clear_reflects_only_new_events():
+    log = EventLog()
+    log.emit("squash", source="svc", rank=1)
+    log.clear()
+    log.emit("squash", source="svc", rank=7)
+    assert len(log) == 1
+    assert [e.detail["rank"] for e in log.of_kind("squash")] == [7]
+    assert log.last("squash").detail["rank"] == 7
+
+
+def test_clear_keeps_observers_attached():
+    log = EventLog()
+    seen = []
+    log.attach(seen.append)
+    log.emit("a", source="s")
+    log.clear()
+    log.emit("b", source="s")
+    assert [e.kind for e in seen] == ["a", "b"]

@@ -1,0 +1,59 @@
+"""Telemetry must be a pure observer: on-vs-off runs are identical.
+
+Every design tier runs the same seeded workload twice — once with a
+recording :class:`~repro.telemetry.Telemetry` wired through the system,
+once fully unwired — and every observable (protocol event stream,
+stats registry, committed load values, final memory image, squash
+counts) must match exactly. The harness also asserts the traced run
+recorded spans, so a silently-dead recorder cannot pass vacuously.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.harness.differential import (
+    TIERS,
+    compare_telemetry_modes,
+    differential_workload,
+)
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_telemetry_on_equals_off(tier):
+    # The EC design assumes no squashes (paper section 3.4).
+    allow_squashes = tier != "ec"
+    for seed in range(3):
+        tasks = differential_workload(seed, n_tasks=6, ops_per_task=8)
+        plan = FaultPlan(
+            seed=seed,
+            squash_rate=0.1 if allow_squashes else 0.0,
+            delayed_writebacks=2,
+        )
+        mismatches = compare_telemetry_modes(
+            tier,
+            tasks,
+            seed=seed,
+            schedule="random",
+            squash_probability=0.05 if allow_squashes else 0.0,
+            fault_plan=plan,
+        )
+        assert not mismatches, "\n".join(mismatches)
+
+
+def test_disabled_telemetry_equals_off():
+    """Telemetry(enabled=False) must wire to nothing at all."""
+    from repro.telemetry import Telemetry
+
+    tasks = differential_workload(7, n_tasks=5, ops_per_task=6)
+    disabled = Telemetry(label="x", enabled=False)
+    mismatches = compare_telemetry_modes("final", tasks, seed=7)
+    assert not mismatches
+    # And a disabled object records nothing even if handed to a system.
+    from repro.harness.differential import observe_run
+    from repro.svc.designs import design_config
+    from repro.common.config import SVCConfig
+
+    config = design_config("final", SVCConfig.paper_32kb())
+    observe_run(config, tasks, seed=7, telemetry=disabled)
+    assert disabled.tracer.spans == []
+    assert len(disabled.metrics) == 0

@@ -1,0 +1,114 @@
+"""Metrics: bucket-edge semantics, registry binding, snapshot merging."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_metric_snapshots,
+)
+
+
+class TestHistogramBucketEdges:
+    """edges = (a, b, c) -> buckets v<=a, a<v<=b, b<v<=c, v>c."""
+
+    def test_inclusive_upper_bounds(self):
+        hist = Histogram("h", edges=(1, 2, 4))
+        for value, bucket in ((1, 0), (2, 1), (3, 2), (4, 2), (5, 3)):
+            before = list(hist.counts)
+            hist.observe(value)
+            assert hist.counts[bucket] == before[bucket] + 1, (value, bucket)
+        assert hist.counts == [1, 1, 2, 1]
+        assert hist.count == 5
+        assert hist.total == 1 + 2 + 3 + 4 + 5
+        assert (hist.vmin, hist.vmax) == (1, 5)
+        assert hist.mean == pytest.approx(3.0)
+
+    def test_zero_goes_to_first_bucket(self):
+        hist = Histogram("h", edges=(0, 1))
+        hist.observe(0)
+        assert hist.counts == [1, 0, 0]
+
+    def test_counts_has_one_overflow_slot(self):
+        assert len(Histogram("h", edges=(1, 2, 4)).counts) == 4
+
+    def test_edges_must_be_strictly_increasing(self):
+        with pytest.raises(ReproError):
+            Histogram("h", edges=(1, 1, 2))
+        with pytest.raises(ReproError):
+            Histogram("h", edges=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h", (1, 2)) is registry.histogram("h", (1, 2))
+        assert len(registry) == 2
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ReproError):
+            registry.gauge("x")
+
+    def test_histogram_edge_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1, 2))
+        with pytest.raises(ReproError):
+            registry.histogram("h", (1, 2, 4))
+
+    def test_snapshot_groups_by_type(self):
+        registry = MetricsRegistry()
+        registry.counter("c", unit="events").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h", (1, 2)).observe(2)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == {"unit": "events", "value": 3}
+        assert snap["gauges"]["g"]["value"] == 7
+        assert snap["histograms"]["h"]["counts"] == [0, 1, 0]
+
+
+def test_gauge_envelope():
+    gauge = Gauge("g")
+    for value in (5, 2, 9):
+        gauge.set(value)
+    assert (gauge.value, gauge.vmin, gauge.vmax, gauge.samples) == (9, 2, 9, 3)
+
+
+def test_merge_adds_counters_and_histograms_and_widens_envelopes():
+    def snap(counter, observations):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(counter)
+        hist = registry.histogram("h", (1, 2), unit="x")
+        for value in observations:
+            hist.observe(value)
+        registry.gauge("g").set(observations[-1])
+        return registry.snapshot()
+
+    merged = merge_metric_snapshots([snap(2, [1, 5]), snap(3, [2])])
+    assert merged["counters"]["c"]["value"] == 5
+    hist = merged["histograms"]["h"]
+    assert hist["counts"] == [1, 1, 1]
+    assert hist["count"] == 3
+    assert hist["total"] == 8
+    assert (hist["min"], hist["max"]) == (1, 5)
+    gauge = merged["gauges"]["g"]
+    assert (gauge["min"], gauge["max"], gauge["samples"]) == (2, 5, 2)
+
+
+def test_merge_rejects_mismatched_edges():
+    a = {"histograms": {"h": Histogram("h", (1, 2)).to_dict()}}
+    b = {"histograms": {"h": Histogram("h", (1, 2, 4)).to_dict()}}
+    with pytest.raises(ReproError):
+        merge_metric_snapshots([a, b])
+
+
+def test_counter_inc_amount():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5

@@ -1,0 +1,47 @@
+"""``python -m repro trace``: end-to-end smoke on a tiny fig19 slice."""
+
+import json
+
+from repro.cli import main
+from repro.telemetry.exporters import validate_trace_file
+
+
+def test_trace_cli_emits_valid_perfetto_trace(tmp_path, capsys):
+    out = tmp_path / "traces"
+    rc = main(
+        [
+            "trace",
+            "fig19",
+            "--scale",
+            "0.02",
+            "--benchmarks",
+            "compress",
+            "--output-dir",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    trace_path = out / "fig19.trace.json"
+    metrics_path = out / "fig19.metrics.json"
+    # The headline acceptance criterion: a Perfetto-loadable trace with
+    # nested bus_txn -> snoop -> vol_walk spans.
+    validate_trace_file(
+        str(trace_path),
+        require_kinds=("bus_txn", "snoop", "vol_walk", "commit", "mem_op", "run"),
+    )
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["flat"]["histograms.svc.snoop_fanout.count"] > 0
+    assert metrics["flat"]["histograms.bus.wait_cycles.count"] > 0
+    text = capsys.readouterr().out
+    assert "telemetry:" in text
+    assert "perfetto" in text.lower()
+
+
+def test_trace_cli_rejects_unknown_experiment(capsys):
+    assert main(["trace", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_trace_cli_rejects_unknown_benchmark(capsys):
+    assert main(["trace", "fig19", "--benchmarks", "nope"]) == 2
+    assert "unknown benchmarks" in capsys.readouterr().err

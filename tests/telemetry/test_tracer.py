@@ -1,0 +1,111 @@
+"""Tracer: span nesting, causal parent links, logical clock, unwinding."""
+
+import pytest
+
+from repro.telemetry.tracer import Span, Tracer
+
+
+def test_begin_end_nesting_and_parent_links():
+    tracer = Tracer()
+    outer = tracer.begin("bus_txn", "read 0x100")
+    inner = tracer.begin("snoop", "snoop 0x100")
+    assert inner.parent_id == outer.span_id
+    tracer.end(inner)
+    sibling = tracer.begin("vol_walk", "supply walk")
+    assert sibling.parent_id == outer.span_id
+    tracer.end(sibling)
+    tracer.end(outer)
+    assert tracer.depth == 0
+    # A child's interval nests strictly inside its parent's.
+    assert outer.start < inner.start < inner.end < outer.end
+    assert inner.end < sibling.start < sibling.end < outer.end
+
+
+def test_top_level_span_has_no_parent():
+    tracer = Tracer()
+    span = tracer.begin("run")
+    assert span.parent_id is None
+    tracer.end(span)
+
+
+def test_instant_parents_under_open_span():
+    tracer = Tracer()
+    outer = tracer.begin("commit")
+    mark = tracer.instant("task_begin", "task 3", rank=3)
+    tracer.end(outer)
+    assert mark.parent_id == outer.span_id
+    assert mark.is_instant
+    assert mark.end == mark.start
+    assert mark.args == {"rank": 3}
+    # Real spans always tick between begin and end.
+    assert not outer.is_instant
+
+
+def test_logical_clock_is_deterministic():
+    def record():
+        tracer = Tracer()
+        a = tracer.begin("bus_txn", "read", addr=0x40)
+        tracer.instant("task_begin", "t0")
+        b = tracer.begin("snoop")
+        tracer.end(b, fanout=2)
+        tracer.end(a, hit=True)
+        return [span.to_dict() for span in tracer.spans]
+
+    assert record() == record()
+
+
+def test_end_unwinds_open_descendants_innermost_first():
+    tracer = Tracer()
+    a = tracer.begin("bus_txn")
+    b = tracer.begin("snoop")
+    c = tracer.begin("vol_walk")
+    # An exception unwound past b's and c's end calls; ending the
+    # ancestor must close both, innermost first.
+    tracer.end(a, level="error")
+    assert tracer.depth == 0
+    assert c.end is not None and b.end is not None and a.end is not None
+    assert c.end < b.end < a.end
+    assert a.level == "error"
+
+
+def test_double_end_is_idempotent_and_merges_args():
+    tracer = Tracer()
+    span = tracer.begin("bus_txn")
+    tracer.end(span)
+    closed_at = span.end
+    tracer.end(span, flushes=2, end_cycle=17)
+    assert span.end == closed_at  # timestamp not rewritten
+    assert span.args == {"flushes": 2, "end_cycle": 17}
+    assert tracer.clock == closed_at  # no extra tick spent
+
+
+def test_ending_orphaned_span_stamps_it():
+    tracer = Tracer()
+    a = tracer.begin("bus_txn")
+    b = tracer.begin("snoop")
+    tracer.end(a)  # force-closes b
+    c_end = b.end
+    tracer.end(b, fanout=1)  # already closed: args merge only
+    assert b.end == c_end
+    assert b.args == {"fanout": 1}
+
+
+def test_span_context_manager_closes_on_exception():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("commit"):
+            tracer.begin("wb_drain")
+            raise ValueError("boom")
+    assert tracer.depth == 0
+    assert all(span.end is not None for span in tracer.spans)
+
+
+def test_queries_and_roundtrip():
+    tracer = Tracer()
+    outer = tracer.begin("bus_txn")
+    tracer.begin("snoop")
+    tracer.end(outer)
+    assert [s.kind for s in tracer.of_kind("snoop")] == ["snoop"]
+    assert [s.kind for s in tracer.children_of(outer)] == ["snoop"]
+    for span in tracer.spans:
+        assert Span.from_dict(span.to_dict()) == span

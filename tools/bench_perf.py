@@ -43,6 +43,56 @@ DEFAULT_EXPERIMENTS = ("fig19", "fig20")
 QUICK_SCALE = 0.05
 QUICK_BENCHMARKS = ("compress", "gcc", "mgrid")
 
+#: Disabled-mode telemetry must cost less than this fraction of the
+#: unwired baseline (ISSUE acceptance: < 3%).
+TELEMETRY_OVERHEAD_BUDGET = 0.03
+
+#: Repeats for the telemetry overhead measurement; min-of-N suppresses
+#: scheduler noise, which at these run lengths dwarfs the effect.
+TELEMETRY_REPEATS = 5
+
+
+def measure_telemetry_overhead(benchmarks, scale, repeats=TELEMETRY_REPEATS):
+    """Time one experiment in all three telemetry wiring modes.
+
+    Modes: ``baseline`` (telemetry=None — nothing wired anywhere),
+    ``disabled`` (telemetry=False — the facade is constructed and every
+    component holds the wiring, but ``wired()`` collapses it to None at
+    construction time), ``enabled`` (telemetry=True — spans + metrics
+    recorded). The disabled-vs-baseline ratio is the cost of *having*
+    the telemetry layer, which the budget gates; enabled-mode cost is
+    reported for information only.
+    """
+    from repro.harness.experiments import run_figure19
+
+    def best(telemetry):
+        walls = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_figure19(
+                benchmarks=benchmarks, scale=scale, workers=1, telemetry=telemetry
+            )
+            walls.append(time.perf_counter() - start)
+        return min(walls)
+
+    baseline = best(None)
+    disabled = best(False)
+    enabled = best(True)
+    disabled_overhead = (disabled - baseline) / baseline if baseline > 0 else 0.0
+    enabled_overhead = (enabled - baseline) / baseline if baseline > 0 else 0.0
+    return {
+        "experiment": "fig19",
+        "benchmarks": list(benchmarks),
+        "scale": scale,
+        "repeats": repeats,
+        "baseline_wall_s": round(baseline, 4),
+        "disabled_wall_s": round(disabled, 4),
+        "enabled_wall_s": round(enabled, 4),
+        "disabled_overhead": round(disabled_overhead, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "budget": TELEMETRY_OVERHEAD_BUDGET,
+    }
+
 
 def run_bench(experiments, benchmarks, scale, workers):
     """Time each experiment; return the BENCH_PERF payload."""
@@ -147,6 +197,11 @@ def main(argv=None) -> int:
         "--output", default="BENCH_PERF.json", help="where to write the payload"
     )
     parser.add_argument(
+        "--skip-telemetry",
+        action="store_true",
+        help="skip the telemetry-overhead measurement and its <3%% gate",
+    )
+    parser.add_argument(
         "--compare",
         default=None,
         metavar="BASELINE",
@@ -175,10 +230,36 @@ def main(argv=None) -> int:
         scale = QUICK_SCALE if args.quick else None
 
     payload = run_bench(experiments, benchmarks, scale, args.workers)
+
+    telemetry_failures = []
+    if not args.skip_telemetry:
+        tel_scale = scale if scale is not None else QUICK_SCALE
+        telemetry = measure_telemetry_overhead(benchmarks, tel_scale)
+        payload["telemetry"] = telemetry
+        print(
+            f"telemetry: baseline {telemetry['baseline_wall_s']:.3f}s, "
+            f"disabled {telemetry['disabled_wall_s']:.3f}s "
+            f"({telemetry['disabled_overhead']:+.1%}), "
+            f"enabled {telemetry['enabled_wall_s']:.3f}s "
+            f"({telemetry['enabled_overhead']:+.1%})",
+            file=sys.stderr,
+        )
+        if telemetry["disabled_overhead"] >= TELEMETRY_OVERHEAD_BUDGET:
+            telemetry_failures.append(
+                f"disabled-mode telemetry overhead "
+                f"{telemetry['disabled_overhead']:.1%} exceeds the "
+                f"{TELEMETRY_OVERHEAD_BUDGET:.0%} budget"
+            )
+
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.output}", file=sys.stderr)
+
+    if telemetry_failures:
+        for failure in telemetry_failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
 
     if args.compare:
         with open(args.compare) as handle:
