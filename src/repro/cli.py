@@ -13,6 +13,16 @@ Usage (any experiment from the registry)::
 Results print in the paper's row/series shape, with the published
 numbers alongside where the paper reports them, and can additionally be
 written to a file with ``--output``.
+
+Experiments run under the supervised engine
+(:mod:`repro.harness.supervisor`): ``--workers``, ``--timeout``,
+``--retries`` and ``--chaos`` control the pool, and ``--resume`` serves
+already-computed points from the content-addressed result store
+(``--store`` / ``REPRO_RESULT_STORE``).
+
+Exit codes are standardized: **0** full success, **1** run or point
+failure (including quarantined points in a partial campaign), **2**
+usage or configuration error.
 """
 
 from __future__ import annotations
@@ -22,9 +32,15 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.common.errors import ConfigError, ReproError
 from repro.harness.experiments import EXPERIMENTS, ExperimentResult
 from repro.harness.reporting import format_series, format_table
 from repro.workloads.spec95 import BENCHMARKS
+
+#: Standardized exit codes (pinned by tests/test_cli.py).
+EXIT_OK = 0
+EXIT_RUN_FAILURE = 1
+EXIT_USAGE = 2
 
 
 def _render(result: ExperimentResult) -> str:
@@ -84,6 +100,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the rendered result to this file",
     )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help="worker processes (0 = one per CPU; default: REPRO_WORKERS "
+        "or serial)",
+    )
+    parser.add_argument(
+        "--timeout",
+        default=None,
+        help="per-point wall-clock timeout in seconds "
+        "(default: REPRO_POINT_TIMEOUT or none; needs --workers >= 2)",
+    )
+    parser.add_argument(
+        "--retries",
+        default=None,
+        help="retry budget per failing point before quarantine "
+        "(default: REPRO_RETRIES or 1)",
+    )
+    parser.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject a seeded chaos plan (worker kills, exceptions, "
+        "stalls) into the campaign — for testing the supervisor",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve already-computed points from the content-addressed "
+        "result store; recompute only missing/changed points",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result-store root for --resume "
+        "(default: REPRO_RESULT_STORE or .repro-results)",
+    )
     return parser
 
 
@@ -120,13 +175,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         unknown = [name for name in requested if name not in BENCHMARKS]
         if unknown:
             print(f"unknown benchmarks: {unknown}", file=sys.stderr)
-            return 2
+            return EXIT_USAGE
         kwargs["benchmarks"] = requested
     if args.scale is not None:
         kwargs["scale"] = args.scale
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    if args.resume:
+        kwargs["resume"] = True
 
+    from repro.harness.supervisor import (
+        SupervisorConfig,
+        resolve_point_timeout,
+        resolve_retries,
+        set_default_supervisor,
+    )
+    from repro.harness.parallel import resolve_workers
+
+    try:
+        # Validate every knob up front so garbage is a usage error (2),
+        # not a mid-campaign crash.
+        resolve_workers(args.workers)
+        supervisor = SupervisorConfig(
+            point_timeout=resolve_point_timeout(args.timeout),
+            retries=resolve_retries(args.retries),
+            chaos_seed=args.chaos,
+            resume=args.resume,
+            store_root=args.store,
+        )
+    except ConfigError as error:
+        print(f"config error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    previous = set_default_supervisor(supervisor)
     started = time.time()
-    result = EXPERIMENTS[args.experiment](**kwargs)
+    try:
+        result = EXPERIMENTS[args.experiment](**kwargs)
+    except ConfigError as error:
+        print(f"config error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except ReproError as error:
+        print(f"run failed: {error}", file=sys.stderr)
+        return EXIT_RUN_FAILURE
+    finally:
+        set_default_supervisor(previous)
     text = _render(result)
     elapsed = time.time() - started
     header = f"== {args.experiment} ({elapsed:.1f}s) =="
@@ -135,7 +227,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(f"{header}\n{text}\n")
-    return 0
+    for report in result.campaigns:
+        print(f"campaign: {report.summary()}", file=sys.stderr)
+    quarantined = result.quarantined_count
+    if quarantined:
+        print(
+            f"PARTIAL CAMPAIGN: {quarantined} point(s) quarantined after "
+            "exhausting retries; see the failure notes above",
+            file=sys.stderr,
+        )
+        for report in result.campaigns:
+            for outcome in report.quarantined:
+                last = outcome.failures[-1] if outcome.failures else "?"
+                print(
+                    f"  quarantined {outcome.spec.benchmark}/"
+                    f"{outcome.spec.machine}: {last}",
+                    file=sys.stderr,
+                )
+        return EXIT_RUN_FAILURE
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

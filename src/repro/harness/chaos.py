@@ -1,0 +1,203 @@
+"""Harness-level chaos injection (``repro.harness.chaos``).
+
+:mod:`repro.faults` attacks the *protocol* — squash storms, adversarial
+victims, saturated MSHRs — while the experiment harness itself is assumed
+perfect. This module mirrors that design one layer down: a
+:class:`ChaosPlan` is a declarative, seeded description of infrastructure
+failures to force on a campaign, and the supervised engine
+(:mod:`repro.harness.supervisor`) must heal around every one of them:
+
+* ``kill`` — the worker process executing the point receives SIGKILL
+  mid-execution (an OOM kill, a crashed interpreter). In serial mode,
+  where killing the process would kill the caller, the kill degrades to
+  a raised :class:`WorkerKilled` so the retry path is still exercised.
+* ``raise`` — :func:`repro.harness.parallel.execute_point` raises a
+  :class:`ChaosError` (a buggy point, a transient import failure).
+* ``stall`` — the point sleeps past the supervisor's wall-clock timeout
+  before executing (a hung simulation, a livelocked worker).
+
+Actions are keyed by ``(point_index, attempt)``: a plan that attacks
+attempt 0 of a point and leaves attempt 1 alone proves that the retry
+produced exactly the result the fault destroyed — which is the chaos
+suite's core assertion (supervised results are byte-identical to a
+fault-free serial run, because every point is deterministic given its
+spec).
+
+Plans are plain data — JSON-round-trippable via ``to_dict``/``from_dict``
+so they cross the pickle boundary into workers — and seeded through
+:func:`repro.common.rng.make_rng` so :func:`random_chaos_plan` draws the
+same attacks for the same seed, forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.rng import make_rng
+
+#: Recognized attack kinds, in the order ``describe`` reports them.
+KINDS = ("kill", "raise", "stall")
+
+
+class ChaosError(SimulationError):
+    """An exception injected into ``execute_point`` by a chaos plan."""
+
+
+class WorkerKilled(SimulationError):
+    """Serial-mode stand-in for a SIGKILLed worker process."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One reproducible set of infrastructure attacks on a campaign.
+
+    ``kills``/``raises`` are ``(point_index, attempt)`` pairs;
+    ``stalls`` maps the same pairs to a stall duration in seconds
+    (choose one comfortably above the supervisor's point timeout).
+    """
+
+    seed: int = 0
+    kills: Tuple[Tuple[int, int], ...] = ()
+    raises: Tuple[Tuple[int, int], ...] = ()
+    stalls: Tuple[Tuple[int, int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for index, attempt in tuple(self.kills) + tuple(self.raises):
+            if index < 0 or attempt < 0:
+                raise ConfigError(
+                    f"chaos targets must be non-negative, got ({index}, {attempt})"
+                )
+        for index, attempt, seconds in self.stalls:
+            if index < 0 or attempt < 0 or seconds <= 0:
+                raise ConfigError(
+                    f"invalid stall ({index}, {attempt}, {seconds})"
+                )
+
+    @property
+    def is_noop(self) -> bool:
+        return not (self.kills or self.raises or self.stalls)
+
+    def action(self, index: int, attempt: int):
+        """The attack for this (point, attempt), or ``None``.
+
+        Returns ``("kill", None)``, ``("raise", None)`` or
+        ``("stall", seconds)``.
+        """
+        if (index, attempt) in self.kills:
+            return ("kill", None)
+        if (index, attempt) in self.raises:
+            return ("raise", None)
+        for sindex, sattempt, seconds in self.stalls:
+            if (sindex, sattempt) == (index, attempt):
+                return ("stall", seconds)
+        return None
+
+    def apply(self, index: int, attempt: int, allow_kill: bool = True) -> None:
+        """Execute the attack for this (point, attempt) in-process.
+
+        Called from the worker wrapper just before the real point runs.
+        ``allow_kill`` is cleared in serial mode, where SIGKILLing the
+        process would take the supervisor down with it.
+        """
+        found = self.action(index, attempt)
+        if found is None:
+            return
+        kind, arg = found
+        if kind == "stall":
+            import time
+
+            time.sleep(arg)
+            return
+        if kind == "raise":
+            raise ChaosError(
+                f"chaos: injected failure at point {index} attempt {attempt}"
+            )
+        # kind == "kill"
+        if allow_kill:
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise WorkerKilled(
+            f"chaos: simulated worker kill at point {index} attempt {attempt}"
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "kills": [list(pair) for pair in self.kills],
+            "raises": [list(pair) for pair in self.raises],
+            "stalls": [list(entry) for entry in self.stalls],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChaosPlan":
+        return cls(
+            seed=data.get("seed", 0),
+            kills=tuple((int(i), int(a)) for i, a in data.get("kills", [])),
+            raises=tuple((int(i), int(a)) for i, a in data.get("raises", [])),
+            stalls=tuple(
+                (int(i), int(a), float(s)) for i, a, s in data.get("stalls", [])
+            ),
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.kills:
+            parts.append(f"kills={sorted(self.kills)}")
+        if self.raises:
+            parts.append(f"raises={sorted(self.raises)}")
+        if self.stalls:
+            parts.append(f"stalls={sorted(self.stalls)}")
+        return f"ChaosPlan(seed={self.seed}: " + (", ".join(parts) or "no-op") + ")"
+
+
+def random_chaos_plan(
+    seed: int,
+    n_points: int,
+    attacks: int = 3,
+    stall_seconds: Optional[float] = None,
+) -> ChaosPlan:
+    """A randomized but reproducible plan attacking attempt 0 only.
+
+    Attempt-0-only keeps the plan *survivable* with a retry budget of
+    one: every attacked point's first retry runs clean, so a healthy
+    supervisor always completes the campaign. ``stall_seconds`` enables
+    stall attacks (pick a value above the point timeout); without it the
+    plan draws only kills and raises.
+    """
+    if n_points <= 0:
+        return ChaosPlan(seed=seed)
+    rng = make_rng(seed, "chaos:plan")
+    kinds = ["kill", "raise"] + (["stall"] if stall_seconds else [])
+    kills, raises, stalls = set(), set(), set()
+    for _ in range(min(attacks, n_points)):
+        index = rng.randrange(n_points)
+        kind = rng.choice(kinds)
+        if kind == "kill":
+            kills.add((index, 0))
+        elif kind == "raise":
+            raises.add((index, 0))
+        else:
+            stalls.add((index, 0, float(stall_seconds)))
+    # A point can only die one way per attempt: kills shadow raises/stalls.
+    raises = {pair for pair in raises if pair not in kills}
+    stalls = {s for s in stalls if (s[0], s[1]) not in kills and (s[0], s[1]) not in raises}
+    return ChaosPlan(
+        seed=seed,
+        kills=tuple(sorted(kills)),
+        raises=tuple(sorted(raises)),
+        stalls=tuple(sorted(stalls)),
+    )
+
+
+__all__ = [
+    "ChaosError",
+    "ChaosPlan",
+    "WorkerKilled",
+    "random_chaos_plan",
+]

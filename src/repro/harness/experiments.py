@@ -69,17 +69,47 @@ class BenchmarkResult:
 
 @dataclass
 class ExperimentResult:
-    """All points of one experiment, plus paper targets for comparison."""
+    """All points of one experiment, plus paper targets for comparison.
+
+    ``campaigns`` holds the supervised-execution reports
+    (:class:`repro.harness.supervisor.CampaignReport`) behind ``points``:
+    quarantined points are absent from ``points`` but accounted for
+    there, which is how the CLI distinguishes a complete run (exit 0)
+    from a partial one (exit 1).
+    """
 
     experiment: str
     points: List[BenchmarkResult] = field(default_factory=list)
     paper: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    campaigns: List = field(default_factory=list)
 
     def point(self, benchmark: str, machine: str) -> Optional[BenchmarkResult]:
         for result in self.points:
             if result.benchmark == benchmark and result.machine == machine:
                 return result
         return None
+
+    @property
+    def quarantined_count(self) -> int:
+        return sum(
+            report.counters.get("quarantined", 0) for report in self.campaigns
+        )
+
+
+def _collect(
+    result: ExperimentResult,
+    specs: List[PointSpec],
+    workers: Optional[int],
+    resume: bool = False,
+) -> ExperimentResult:
+    """Run ``specs`` under the supervisor and fold everything into
+    ``result`` (successful points plus the campaign report)."""
+    campaigns: List = []
+    result.points.extend(
+        run_points(specs, workers, resume=resume, campaigns=campaigns)
+    )
+    result.campaigns.extend(campaigns)
+    return result
 
 
 def _point_telemetry(
@@ -146,6 +176,7 @@ def run_table2(
     scale: Optional[float] = None,
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Table 2: miss ratios, ARB/32KB vs SVC 4x8KB."""
     result = ExperimentResult(experiment="table2", paper=PAPER_TABLE2)
@@ -163,8 +194,7 @@ def run_table2(
                 scale, telemetry,
             )
         )
-    result.points.extend(run_points(specs, workers))
-    return result
+    return _collect(result, specs, workers, resume)
 
 
 def run_table3(
@@ -172,6 +202,7 @@ def run_table3(
     scale: Optional[float] = None,
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Table 3: SVC snooping-bus utilization at 4x8KB and 4x16KB."""
     result = ExperimentResult(experiment="table3", paper=PAPER_TABLE3)
@@ -189,20 +220,17 @@ def run_table3(
                 scale, telemetry,
             )
         )
-    result.points.extend(run_points(specs, workers))
-    return result
+    return _collect(result, specs, workers, resume)
 
 
-def _run_figure(
-    experiment: str,
+def figure_specs(
     svc_config: SVCConfig,
     arb_factory: Callable[[int], ARBConfig],
     benchmarks,
-    scale: Optional[float],
-    workers: Optional[int] = None,
+    scale: Optional[float] = None,
     telemetry: Optional[bool] = None,
-) -> ExperimentResult:
-    result = ExperimentResult(experiment=experiment)
+) -> List[PointSpec]:
+    """The point list of one figure sweep (shared with tools/bench_perf)."""
     specs = []
     for name in benchmarks:
         specs.append(
@@ -216,8 +244,37 @@ def _run_figure(
                     name, f"arb_{hit}c", "arb", arb_factory(hit), scale, telemetry
                 )
             )
-    result.points.extend(run_points(specs, workers))
-    return result
+    return specs
+
+
+def figure19_specs(
+    benchmarks=BENCHMARKS,
+    scale: Optional[float] = None,
+    telemetry: Optional[bool] = None,
+) -> List[PointSpec]:
+    """Figure 19's points as bare specs (for benches and chaos smokes)."""
+    return figure_specs(
+        SVCConfig.paper_32kb(),
+        lambda hit: ARBConfig.paper_32kb(hit_cycles=hit),
+        benchmarks,
+        scale,
+        telemetry,
+    )
+
+
+def _run_figure(
+    experiment: str,
+    svc_config: SVCConfig,
+    arb_factory: Callable[[int], ARBConfig],
+    benchmarks,
+    scale: Optional[float],
+    workers: Optional[int] = None,
+    telemetry: Optional[bool] = None,
+    resume: bool = False,
+) -> ExperimentResult:
+    result = ExperimentResult(experiment=experiment)
+    specs = figure_specs(svc_config, arb_factory, benchmarks, scale, telemetry)
+    return _collect(result, specs, workers, resume)
 
 
 def run_figure19(
@@ -225,6 +282,7 @@ def run_figure19(
     scale: Optional[float] = None,
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Figure 19: IPC, ARB (1-4 cycle hit) vs SVC (1 cycle), 32KB total."""
     return _run_figure(
@@ -235,6 +293,7 @@ def run_figure19(
         scale,
         workers,
         telemetry,
+        resume,
     )
 
 
@@ -243,6 +302,7 @@ def run_figure20(
     scale: Optional[float] = None,
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Figure 20: IPC, ARB (1-4 cycle hit) vs SVC (1 cycle), 64KB total."""
     return _run_figure(
@@ -253,6 +313,7 @@ def run_figure20(
         scale,
         workers,
         telemetry,
+        resume,
     )
 
 
@@ -262,6 +323,7 @@ def run_ablation_designs(
     scale: Optional[float] = None,
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Design progression ablation: what each section-3 step buys.
 
@@ -277,8 +339,7 @@ def run_ablation_designs(
         for name in benchmarks
         for design in designs
     ]
-    result.points.extend(run_points(specs, workers))
-    return result
+    return _collect(result, specs, workers, resume)
 
 
 def run_ablation_update_policy(
@@ -286,6 +347,7 @@ def run_ablation_update_policy(
     scale: Optional[float] = None,
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Invalidate vs update vs hybrid coherence (section 3.8)."""
     result = ExperimentResult(experiment="ablation_update")
@@ -298,8 +360,7 @@ def run_ablation_update_policy(
         for name in benchmarks
         for policy in UpdatePolicy.ALL
     ]
-    result.points.extend(run_points(specs, workers))
-    return result
+    return _collect(result, specs, workers, resume)
 
 
 def run_ablation_linesize(
@@ -308,6 +369,7 @@ def run_ablation_linesize(
     scale: Optional[float] = None,
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """RL design: versioning-block size vs false-sharing squashes."""
     from dataclasses import replace
@@ -328,8 +390,7 @@ def run_ablation_linesize(
             specs.append(
                 PointSpec(name, f"svc_vb{vbs}", "svc", config, scale, telemetry)
             )
-    result.points.extend(run_points(specs, workers))
-    return result
+    return _collect(result, specs, workers, resume)
 
 
 def run_ablation_scaling(
@@ -338,6 +399,7 @@ def run_ablation_scaling(
     scale: Optional[float] = None,
     workers: Optional[int] = None,
     telemetry: Optional[bool] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Extension experiment: PU-count scaling of both organizations.
 
@@ -366,8 +428,7 @@ def run_ablation_scaling(
                     name, f"arb2c_{n_pus}pu", "arb", arb_config, scale, telemetry
                 )
             )
-    result.points.extend(run_points(specs, workers))
-    return result
+    return _collect(result, specs, workers, resume)
 
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {

@@ -18,6 +18,12 @@ serial loop, because
 ``REPRO_WORKERS`` environment variable; otherwise serial. ``0`` means
 "one worker per CPU". Serial execution never touches multiprocessing,
 so single-point callers and restricted environments pay nothing.
+
+Two engines share these specs: :func:`parallel_map` is the bare fan-out
+(kept for the model checker and as the bench baseline), while
+:func:`run_points` routes campaigns through the supervised engine in
+:mod:`repro.harness.supervisor` — per-point timeouts, seeded-backoff
+retries, quarantine, broken-pool recovery and content-addressed resume.
 """
 
 from __future__ import annotations
@@ -25,6 +31,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from typing import List, Optional, Union
+
+from repro.common.errors import ConfigError
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -70,14 +78,28 @@ def execute_point(spec: PointSpec):
 
 
 def resolve_workers(workers: Optional[Union[int, str]] = None) -> int:
-    """Effective worker count: argument, else ``REPRO_WORKERS``, else 1."""
+    """Effective worker count: argument, else ``REPRO_WORKERS``, else 1.
+
+    Raises :class:`ConfigError` naming the offending value for negative
+    or non-integer input — a bad env knob must fail as a usage error,
+    not flow into ``ProcessPoolExecutor`` as a crash.
+    """
     if workers is None:
         workers = os.environ.get(WORKERS_ENV, "")
         if not workers:
             return 1
-    count = int(workers)
+    try:
+        count = int(str(workers))
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"{WORKERS_ENV} must be a non-negative integer "
+            f"(0 = one per CPU), got {workers!r}"
+        ) from None
     if count < 0:
-        raise ValueError(f"worker count must be >= 0, got {count}")
+        raise ConfigError(
+            f"{WORKERS_ENV} must be a non-negative integer "
+            f"(0 = one per CPU), got {workers!r}"
+        )
     if count == 0:
         count = os.cpu_count() or 1
     return count
@@ -108,14 +130,57 @@ def parallel_map(
         # worker, but the work is deterministic either way.
         context = multiprocessing.get_context("spawn")
     max_workers = min(count, len(items))
-    with concurrent.futures.ProcessPoolExecutor(
+    pool = concurrent.futures.ProcessPoolExecutor(
         max_workers=max_workers, mp_context=context
-    ) as pool:
-        return list(pool.map(func, items))
+    )
+    try:
+        results = list(pool.map(func, items))
+    except KeyboardInterrupt:
+        # An aborted campaign must not leave orphaned workers: cancel
+        # everything queued, SIGKILL the running workers, and reap them
+        # before re-raising to the interactive caller.
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.kill()
+            except (OSError, AttributeError, ValueError):
+                pass
+        for process in processes:
+            try:
+                process.join(timeout=1.0)
+            except (OSError, AssertionError, ValueError):
+                pass
+        raise
+    else:
+        pool.shutdown(wait=True)
+        return results
 
 
 def run_points(
-    specs: List[PointSpec], workers: Optional[Union[int, str]] = None
+    specs: List[PointSpec],
+    workers: Optional[Union[int, str]] = None,
+    resume: bool = False,
+    supervisor=None,
+    campaigns: Optional[List] = None,
 ) -> List:
-    """Execute every experiment point, serially or across processes."""
-    return parallel_map(execute_point, specs, workers)
+    """Execute every experiment point under the supervised engine.
+
+    The successor of the old ``parallel_map(execute_point, ...)`` path:
+    points now get wall-clock timeouts, bounded seeded-backoff retries,
+    quarantine, broken-pool recovery and (with ``resume=True``) warm
+    results from the content-addressed store — see
+    :mod:`repro.harness.supervisor`. Returns the successful results in
+    spec order; quarantined points are *omitted* so a campaign degrades
+    to a partial report rather than crashing. Pass a list as
+    ``campaigns`` to receive the full :class:`CampaignReport` (the CLI
+    uses it to map quarantine onto exit code 1).
+    """
+    from repro.harness.supervisor import run_campaign
+
+    report = run_campaign(
+        specs, supervisor, workers=workers, resume=resume or None
+    )
+    if campaigns is not None:
+        campaigns.append(report)
+    return [out.result for out in report.outcomes if out.result is not None]

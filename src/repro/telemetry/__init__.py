@@ -83,6 +83,12 @@ RUN = "run"
 TASK_BEGIN = "task_begin"
 #: Error-level instant: the runtime invariant checker tripped.
 INVARIANT_VIOLATION = "invariant_violation"
+#: One supervised campaign envelope (:mod:`repro.harness.supervisor`).
+CAMPAIGN = "campaign"
+#: One attempt at one experiment point under the supervisor.
+POINT_ATTEMPT = "point_attempt"
+#: Instant: a supervisor decision (retry, timeout, crash, quarantine).
+SUPERVISOR_EVENT = "supervisor_event"
 
 
 class Telemetry:
@@ -154,15 +160,18 @@ def wired(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
 
 __all__ = [
     "BUS_TXN",
+    "CAMPAIGN",
     "COMMIT",
     "CYCLE_EDGES",
     "FANOUT_EDGES",
     "INVARIANT_VIOLATION",
     "MEM_OP",
     "OCCUPANCY_EDGES",
+    "POINT_ATTEMPT",
     "RUN",
     "SNOOP",
     "SQUASH",
+    "SUPERVISOR_EVENT",
     "TASK_BEGIN",
     "VOL_REPAIR",
     "VOL_WALK",

@@ -1,0 +1,120 @@
+"""Property tests (hypothesis) for the retry/backoff schedule.
+
+The satellite contract: schedules are deterministic given a seed,
+monotone non-decreasing, bounded (by the cap and by the attempt
+budget), and quarantine triggers exactly at the configured retry
+budget.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.harness.chaos import ChaosPlan
+from repro.harness.supervisor import (
+    QUARANTINED,
+    BackoffPolicy,
+    SupervisorConfig,
+    run_campaign,
+)
+
+policies = st.builds(
+    BackoffPolicy,
+    base=st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+    factor=st.floats(min_value=1.0, max_value=8.0, allow_nan=False),
+    cap=st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+keys = st.text(min_size=1, max_size=30)
+
+
+@given(policy=policies, key=keys, retries=st.integers(0, 12))
+def test_schedule_is_deterministic_given_seed(policy, key, retries):
+    assert policy.schedule(key, retries) == policy.schedule(key, retries)
+    clone = BackoffPolicy(
+        base=policy.base, factor=policy.factor, cap=policy.cap,
+        jitter=policy.jitter, seed=policy.seed,
+    )
+    assert clone.schedule(key, retries) == policy.schedule(key, retries)
+
+
+@given(policy=policies, key=keys, retries=st.integers(0, 12))
+def test_schedule_monotone_nondecreasing_and_bounded(policy, key, retries):
+    schedule = policy.schedule(key, retries)
+    assert len(schedule) == retries
+    for earlier, later in zip(schedule, schedule[1:]):
+        assert later >= earlier
+    for delay in schedule:
+        assert 0.0 <= delay <= policy.cap
+
+
+@given(
+    policy=policies,
+    key=keys,
+    seed_a=st.integers(0, 2**16),
+    seed_b=st.integers(0, 2**16),
+)
+def test_different_seeds_only_change_jitter_scale(policy, key, seed_a, seed_b):
+    """Reseeding moves delays only within the jitter envelope."""
+    import dataclasses
+
+    a = dataclasses.replace(policy, seed=seed_a).schedule(key, 6)
+    b = dataclasses.replace(policy, seed=seed_b).schedule(key, 6)
+    for delay_a, delay_b in zip(a, b):
+        lo = min(delay_a, delay_b)
+        hi = max(delay_a, delay_b)
+        assert hi <= policy.cap
+        # Both derive from base * factor**k; jitter multiplies by at
+        # most (1 + jitter), so the pair can differ by no more than that.
+        assert hi <= (1.0 + policy.jitter) * lo + 1e-9 or hi == policy.cap
+
+
+@given(st.floats(max_value=-1e-6, allow_nan=False, allow_infinity=False))
+def test_negative_base_rejected(base):
+    with pytest.raises(ConfigError):
+        BackoffPolicy(base=base)
+
+
+@given(st.floats(min_value=0.0, max_value=0.999, allow_nan=False))
+def test_shrinking_factor_rejected(factor):
+    """factor < 1 would break monotonicity, so construction refuses it."""
+    with pytest.raises(ConfigError):
+        BackoffPolicy(factor=factor)
+
+
+@settings(deadline=None, max_examples=8)
+@given(retries=st.integers(0, 3), extra_failures=st.integers(0, 2))
+def test_quarantine_triggers_exactly_at_retry_budget(retries, extra_failures):
+    """A point failing `retries` times still completes; one more failure
+    quarantines it — and total attempts stay bounded by retries + 1."""
+    from repro.harness.experiments import figure19_specs
+
+    specs = figure19_specs(benchmarks=("compress",), scale=0.01)[:2]
+    failing_attempts = retries + extra_failures
+    plan = ChaosPlan(
+        raises=tuple((1, attempt) for attempt in range(failing_attempts))
+    )
+    report = run_campaign(
+        specs,
+        SupervisorConfig(
+            workers=1, chaos=plan, retries=retries,
+            backoff=BackoffPolicy(base=0.0),
+        ),
+    )
+    outcome = report.outcomes[1]
+    if extra_failures == 0:
+        # Budget not exceeded: the final allowed attempt succeeds.
+        assert report.ok
+        assert outcome.attempts == failing_attempts + 1
+        assert report.counters["retries"] == failing_attempts
+    else:
+        # One failure past the budget: quarantined, exactly at the limit.
+        assert outcome.status == QUARANTINED
+        assert outcome.attempts == retries + 1
+        assert report.counters["retries"] == retries
+        assert report.counters["quarantined"] == 1
+    assert outcome.attempts <= retries + 1

@@ -1,0 +1,169 @@
+"""Seeded chaos suite: attack the harness, assert it heals.
+
+Mirrors ``tests/repro/test_faults.py`` one layer down: where a
+FaultPlan steers the *protocol* into squash/repair paths, a ChaosPlan
+SIGKILLs workers, injects exceptions into ``execute_point`` and stalls
+points past the supervisor's timeout — and the acceptance criterion is
+that a fig19 campaign still completes, with results byte-identical to a
+fault-free serial run (every point is deterministic, so a healed retry
+must reproduce exactly the bytes the fault destroyed).
+"""
+
+import pickle
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.harness.chaos import (
+    ChaosError,
+    ChaosPlan,
+    WorkerKilled,
+    random_chaos_plan,
+)
+from repro.harness.experiments import figure19_specs
+from repro.harness.supervisor import BackoffPolicy, SupervisorConfig, run_campaign
+
+SCALE = 0.01
+FAST = BackoffPolicy(base=0.0)
+
+
+def fig19_slice():
+    """A small fig19 campaign: compress x (svc_1c, arb_1c..arb_4c)."""
+    return figure19_specs(benchmarks=("compress",), scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """The fault-free serial run every chaos campaign must reproduce."""
+    report = run_campaign(fig19_slice(), SupervisorConfig(workers=1))
+    assert report.ok
+    return [pickle.dumps(vars(point)) for point in report.results()]
+
+
+def assert_identical(report, serial_reference):
+    assert report.ok, f"campaign did not heal: {report.summary()}"
+    measured = [pickle.dumps(vars(point)) for point in report.results()]
+    assert measured == serial_reference
+
+
+# -- plan mechanics ---------------------------------------------------------
+
+
+class TestChaosPlan:
+    def test_roundtrips_through_dict(self):
+        plan = ChaosPlan(
+            seed=9, kills=((1, 0),), raises=((2, 1),), stalls=((0, 0, 4.0),)
+        )
+        assert ChaosPlan.from_dict(plan.to_dict()) == plan
+
+    def test_action_lookup(self):
+        plan = ChaosPlan(kills=((1, 0),), raises=((2, 0),), stalls=((3, 1, 2.0),))
+        assert plan.action(1, 0) == ("kill", None)
+        assert plan.action(2, 0) == ("raise", None)
+        assert plan.action(3, 1) == ("stall", 2.0)
+        assert plan.action(0, 0) is None
+        assert plan.action(1, 1) is None  # attempt 1 is clean
+
+    def test_apply_raises_and_simulated_kill(self):
+        plan = ChaosPlan(kills=((0, 0),), raises=((1, 0),))
+        with pytest.raises(WorkerKilled):
+            plan.apply(0, 0, allow_kill=False)
+        with pytest.raises(ChaosError):
+            plan.apply(1, 0)
+        plan.apply(5, 5)  # untargeted: no-op
+
+    def test_rejects_invalid_targets(self):
+        with pytest.raises(ConfigError):
+            ChaosPlan(kills=((-1, 0),))
+        with pytest.raises(ConfigError):
+            ChaosPlan(stalls=((0, 0, 0.0),))
+
+    def test_random_plan_is_deterministic_and_survivable(self):
+        one = random_chaos_plan(7, 10, stall_seconds=5.0)
+        two = random_chaos_plan(7, 10, stall_seconds=5.0)
+        assert one == two
+        assert not one.is_noop
+        other = random_chaos_plan(8, 10, stall_seconds=5.0)
+        assert one != other
+        # Survivable: only attempt 0 is ever attacked, and no point is
+        # attacked two different ways at once.
+        targets = [pair for pair in one.kills + one.raises]
+        targets += [(i, a) for i, a, _ in one.stalls]
+        assert all(attempt == 0 for _, attempt in targets)
+        assert len(targets) == len(set(targets))
+
+    def test_random_plan_empty_campaign(self):
+        assert random_chaos_plan(3, 0).is_noop
+
+
+# -- healed campaigns are byte-identical ------------------------------------
+
+
+def test_injected_exceptions_heal(serial_reference):
+    plan = ChaosPlan(raises=((0, 0), (3, 0)))
+    report = run_campaign(
+        fig19_slice(),
+        SupervisorConfig(workers=2, chaos=plan, retries=1, backoff=FAST),
+    )
+    assert report.counters["failures"] == 2
+    assert report.counters["retries"] >= 2
+    assert_identical(report, serial_reference)
+
+
+def test_worker_kills_heal(serial_reference):
+    plan = ChaosPlan(kills=((1, 0),))
+    report = run_campaign(
+        fig19_slice(),
+        SupervisorConfig(workers=2, chaos=plan, retries=2, backoff=FAST),
+    )
+    assert report.counters["crashes"] >= 1
+    assert report.counters["pool_rebuilds"] >= 1
+    assert_identical(report, serial_reference)
+
+
+def test_timeout_stalls_heal(serial_reference):
+    plan = ChaosPlan(stalls=((0, 0, 30.0),))
+    report = run_campaign(
+        fig19_slice(),
+        SupervisorConfig(
+            workers=2, chaos=plan, retries=1, point_timeout=1.5, backoff=FAST
+        ),
+    )
+    assert report.counters["timeouts"] == 1
+    assert report.counters["pool_rebuilds"] >= 1
+    assert_identical(report, serial_reference)
+
+
+def test_seeded_random_chaos_heals(serial_reference):
+    """The CI chaos-smoke scenario: a drawn plan, not a hand-built one."""
+    specs = fig19_slice()
+    plan = random_chaos_plan(1234, len(specs))
+    assert not plan.is_noop
+    report = run_campaign(
+        specs,
+        SupervisorConfig(workers=2, chaos=plan, retries=2, backoff=FAST),
+    )
+    assert_identical(report, serial_reference)
+
+
+def test_chaos_seed_config_draws_plan(serial_reference):
+    report = run_campaign(
+        fig19_slice(),
+        SupervisorConfig(workers=2, chaos_seed=1234, retries=2, backoff=FAST),
+    )
+    assert_identical(report, serial_reference)
+
+
+def test_unsurvivable_chaos_quarantines_not_crashes(serial_reference):
+    """Attacks on every attempt exhaust the budget: the campaign must
+    degrade to a partial report, never raise."""
+    plan = ChaosPlan(raises=tuple((2, attempt) for attempt in range(4)))
+    report = run_campaign(
+        fig19_slice(),
+        SupervisorConfig(workers=2, chaos=plan, retries=2, backoff=FAST),
+    )
+    assert not report.ok
+    assert report.counters["quarantined"] == 1
+    survivors = [o.result for o in report.outcomes if o.result is not None]
+    reference = serial_reference[:2] + serial_reference[3:]
+    assert [pickle.dumps(vars(p)) for p in survivors] == reference

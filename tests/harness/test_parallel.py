@@ -5,6 +5,7 @@ import os
 import pytest
 
 from repro.common.config import ARBConfig, SVCConfig
+from repro.common.errors import ConfigError
 from repro.harness.experiments import run_figure19, run_table2
 from repro.harness.parallel import (
     PointSpec,
@@ -62,8 +63,22 @@ def test_resolve_workers_precedence(monkeypatch):
     monkeypatch.setenv("REPRO_WORKERS", "2")
     assert resolve_workers(None) == 2
     assert resolve_workers(5) == 5  # explicit argument beats the env
-    with pytest.raises(ValueError):
-        resolve_workers(-1)
+
+
+@pytest.mark.parametrize("bad", [-1, "-3", "banana", "2.5", "1e3", ""])
+def test_resolve_workers_rejects_garbage_with_config_error(bad):
+    with pytest.raises(ConfigError) as excinfo:
+        resolve_workers(bad)
+    # The offending value must be named in the error.
+    assert repr(bad) in str(excinfo.value)
+
+
+def test_resolve_workers_validates_env_value(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "three")
+    with pytest.raises(ConfigError) as excinfo:
+        resolve_workers(None)
+    assert "'three'" in str(excinfo.value)
+    assert "REPRO_WORKERS" in str(excinfo.value)
 
 
 def test_run_points_empty_and_single():
@@ -108,3 +123,30 @@ class TestParallelMap:
 
         with pytest.raises(ValueError):
             parallel_map(_boom, [1], workers=2)
+
+
+def _interrupt(x):
+    if x == 0:
+        raise KeyboardInterrupt
+    import time
+
+    time.sleep(30)  # would hang the suite if the abort left it running
+
+
+def test_keyboard_interrupt_reaps_workers():
+    """An aborted fan-out must not leave orphaned worker processes."""
+    import multiprocessing
+    import time
+
+    from repro.harness.parallel import parallel_map
+
+    with pytest.raises(KeyboardInterrupt):
+        parallel_map(_interrupt, [0, 1, 2, 3], workers=2)
+    # The pool's workers were SIGKILLed and reaped: no children of ours
+    # survive (give the reaper a beat on slow machines).
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            break
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []

@@ -43,3 +43,76 @@ def test_runs_figure_series(capsys):
 def test_parser_help_mentions_experiments():
     parser = build_parser()
     assert "table2" in parser.format_help()
+
+
+class TestExitCodes:
+    """Pin the standardized exit codes: 0 success, 1 run/point failure
+    (including quarantined points), 2 usage/config error."""
+
+    def test_success_is_zero(self):
+        assert main(["table2", "--benchmarks", "gcc", "--scale", "0.02"]) == 0
+
+    def test_usage_errors_are_two(self, capsys):
+        assert main(["nope"]) == 2
+        assert main(["table2", "--benchmarks", "linpack"]) == 2
+        capsys.readouterr()
+
+    def test_bad_workers_env_is_config_error_two(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "banana")
+        assert main(["table2", "--benchmarks", "gcc", "--scale", "0.02"]) == 2
+        err = capsys.readouterr().err
+        assert "config error" in err and "'banana'" in err
+
+    def test_bad_timeout_flag_is_config_error_two(self, capsys):
+        code = main([
+            "table2", "--benchmarks", "gcc", "--scale", "0.02",
+            "--timeout", "soon",
+        ])
+        assert code == 2
+        assert "config error" in capsys.readouterr().err
+
+    def test_bad_retries_flag_is_config_error_two(self, capsys):
+        code = main([
+            "table2", "--benchmarks", "gcc", "--scale", "0.02",
+            "--retries", "-1",
+        ])
+        assert code == 2
+        assert "config error" in capsys.readouterr().err
+
+    def test_quarantined_point_is_one(self, capsys):
+        # A seeded chaos plan attacks attempt 0 of at least one point;
+        # with --retries 0 that point quarantines, so the campaign is
+        # partial and must exit 1 while still rendering the survivors.
+        code = main([
+            "table2", "--benchmarks", "gcc", "--scale", "0.02",
+            "--retries", "0", "--chaos", "7",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "PARTIAL CAMPAIGN" in captured.err
+        assert "quarantined" in captured.err
+
+    def test_chaos_with_retries_recovers_to_zero(self, capsys):
+        code = main([
+            "table2", "--benchmarks", "gcc", "--scale", "0.02",
+            "--retries", "2", "--chaos", "7",
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+
+def test_resume_flag_uses_result_store(capsys, tmp_path):
+    store = str(tmp_path / "store")
+    argv = [
+        "table2", "--benchmarks", "gcc", "--scale", "0.02",
+        "--resume", "--store", store,
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr()
+    assert "2 recomputed" in first.err
+    assert main(argv) == 0
+    second = capsys.readouterr()
+    assert "0 recomputed" in second.err and "2 cached" in second.err
+    # Identical rendered output either way: warm results are the same
+    # bytes the cold run produced.
+    assert first.out.split("==", 2)[-1] == second.out.split("==", 2)[-1]

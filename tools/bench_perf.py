@@ -51,6 +51,55 @@ TELEMETRY_OVERHEAD_BUDGET = 0.03
 #: scheduler noise, which at these run lengths dwarfs the effect.
 TELEMETRY_REPEATS = 5
 
+#: The supervised engine's no-fault overhead vs. the old bare fan-out
+#: must stay under this fraction.
+SUPERVISOR_OVERHEAD_BUDGET = 0.03
+
+#: Repeats for the supervisor overhead measurement (min-of-N, as above).
+SUPERVISOR_REPEATS = 5
+
+
+def measure_supervisor_overhead(benchmarks, scale, repeats=SUPERVISOR_REPEATS):
+    """Time a fig19 sweep through the old bare fan-out and the
+    supervised engine, no faults in either.
+
+    Measured serially (one worker, in-process) so the comparison
+    isolates the engine's bookkeeping — retry scaffolding, outcome
+    accounting, campaign reporting — from process-pool scheduling noise,
+    which at CI scales dwarfs a 3% effect. The parallel path's wall time
+    is separately covered by the main regression gate.
+    """
+    from repro.harness.experiments import figure19_specs
+    from repro.harness.parallel import execute_point, parallel_map
+    from repro.harness.supervisor import SupervisorConfig, run_campaign
+
+    specs = figure19_specs(benchmarks=benchmarks, scale=scale)
+
+    def best(run):
+        walls = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run()
+            walls.append(time.perf_counter() - start)
+        return min(walls)
+
+    bare = best(lambda: parallel_map(execute_point, specs, workers=1))
+    supervised = best(
+        lambda: run_campaign(specs, SupervisorConfig(workers=1))
+    )
+    overhead = (supervised - bare) / bare if bare > 0 else 0.0
+    return {
+        "experiment": "fig19",
+        "benchmarks": list(benchmarks),
+        "scale": scale,
+        "repeats": repeats,
+        "points": len(specs),
+        "bare_wall_s": round(bare, 4),
+        "supervised_wall_s": round(supervised, 4),
+        "overhead": round(overhead, 4),
+        "budget": SUPERVISOR_OVERHEAD_BUDGET,
+    }
+
 
 def measure_telemetry_overhead(benchmarks, scale, repeats=TELEMETRY_REPEATS):
     """Time one experiment in all three telemetry wiring modes.
@@ -202,6 +251,11 @@ def main(argv=None) -> int:
         help="skip the telemetry-overhead measurement and its <3%% gate",
     )
     parser.add_argument(
+        "--skip-supervisor",
+        action="store_true",
+        help="skip the supervisor-overhead measurement and its <3%% gate",
+    )
+    parser.add_argument(
         "--compare",
         default=None,
         metavar="BASELINE",
@@ -249,6 +303,23 @@ def main(argv=None) -> int:
                 f"disabled-mode telemetry overhead "
                 f"{telemetry['disabled_overhead']:.1%} exceeds the "
                 f"{TELEMETRY_OVERHEAD_BUDGET:.0%} budget"
+            )
+
+    if not args.skip_supervisor:
+        sup_scale = scale if scale is not None else QUICK_SCALE
+        supervisor = measure_supervisor_overhead(benchmarks, sup_scale)
+        payload["supervisor"] = supervisor
+        print(
+            f"supervisor: bare {supervisor['bare_wall_s']:.3f}s, "
+            f"supervised {supervisor['supervised_wall_s']:.3f}s "
+            f"({supervisor['overhead']:+.1%})",
+            file=sys.stderr,
+        )
+        if supervisor["overhead"] >= SUPERVISOR_OVERHEAD_BUDGET:
+            telemetry_failures.append(
+                f"supervised-engine no-fault overhead "
+                f"{supervisor['overhead']:.1%} exceeds the "
+                f"{SUPERVISOR_OVERHEAD_BUDGET:.0%} budget"
             )
 
     with open(args.output, "w") as handle:
