@@ -28,11 +28,6 @@ from repro.svc.system import AccessResult
 from repro.telemetry import COMMIT, OCCUPANCY_EDGES, SQUASH, wired
 
 
-def _byte_mask(offset: int, size: int) -> int:
-    """Byte mask within a word for an access at word offset ``offset``."""
-    return ((1 << size) - 1) << offset
-
-
 class ARBSystem:
     """A complete ARB + shared data cache memory system."""
 
@@ -60,6 +55,9 @@ class ARBSystem:
         self._task_of_unit: Dict[int, Optional[int]] = {
             unit: None for unit in range(self.n_units)
         }
+        #: The same mapping without the idle units, maintained at task
+        #: begin/commit/squash so the hot paths never filter Nones.
+        self._active_ranks: Dict[int, int] = {}
         self._committed_through = -1
         #: None when absent or disabled (checked once here, so hot paths
         #: pay a single ``is not None``).
@@ -96,15 +94,11 @@ class ARBSystem:
     # -- task bookkeeping ----------------------------------------------------
 
     def current_ranks(self) -> Dict[int, int]:
-        return {
-            unit: rank
-            for unit, rank in self._task_of_unit.items()
-            if rank is not None
-        }
+        return dict(self._active_ranks)
 
     def head_rank(self) -> Optional[int]:
-        ranks = self.current_ranks()
-        return min(ranks.values()) if ranks else None
+        active = self._active_ranks
+        return min(active.values()) if active else None
 
     def task_rank(self, unit: int) -> Optional[int]:
         return self._task_of_unit[unit]
@@ -115,11 +109,12 @@ class ARBSystem:
                 f"task rank {rank} is not after the committed prefix "
                 f"({self._committed_through})"
             )
-        if rank in self.current_ranks().values():
+        if rank in self._active_ranks.values():
             raise ProtocolError(f"task rank {rank} is already running")
         if self._task_of_unit[unit] is not None:
             raise ProtocolError(f"unit {unit} already runs a task")
         self._task_of_unit[unit] = rank
+        self._active_ranks[unit] = rank
 
     def commit_head(self, unit: int, now: int = 0) -> int:
         """Drain the head task's buffered stores into the data cache.
@@ -150,19 +145,31 @@ class ARBSystem:
             # allocation order a full buffer scan would visit them.
             for row in self.buffer.rows_of_rank(rank):
                 entry = row.entries[rank]
-                if entry.store_mask:
-                    for offset in range(WORD_SIZE):
-                        if entry.store_mask & (1 << offset):
-                            self.data_cache.write(
-                                row.word_addr + offset,
-                                bytes(entry.data[offset : offset + 1]),
-                            )
+                store_mask = entry.store_mask
+                if store_mask:
+                    # Drain contiguous byte runs in one write each; the
+                    # per-line hit/miss accounting is unchanged because
+                    # every run of one word lands in the same line.
+                    data = entry.data
+                    offset = 0
+                    while offset < WORD_SIZE:
+                        if not store_mask & (1 << offset):
+                            offset += 1
+                            continue
+                        end = offset + 1
+                        while end < WORD_SIZE and store_mask & (1 << end):
+                            end += 1
+                        self.data_cache.write(
+                            row.word_addr + offset, bytes(data[offset:end])
+                        )
+                        offset = end
                     drained += 1
                 row.entries.pop(rank, None)
                 self.buffer.release_if_empty(row.word_addr)
             self.buffer.drop_rank_index(rank)
             self.stats.add("commit_stores_drained", drained)
             self._task_of_unit[unit] = None
+            del self._active_ranks[unit]
             self._committed_through = rank
             if self.event_log is not None:
                 self.event_log.emit("commit", source="arb", unit=unit, rank=rank)
@@ -178,7 +185,7 @@ class ARBSystem:
     def squash_from_rank(self, rank: int, reason: str = "misprediction") -> List[int]:
         victims = sorted(
             (task, unit)
-            for unit, task in self.current_ranks().items()
+            for unit, task in self._active_ranks.items()
             if task >= rank
         )
         telemetry = self.telemetry
@@ -190,6 +197,7 @@ class ARBSystem:
         for task, unit in victims:
             self.buffer.clear_rank(task)
             self._task_of_unit[unit] = None
+            del self._active_ranks[unit]
             self.stats.add(f"squashes_{reason}")
             if self.event_log is not None:
                 self.event_log.emit(
@@ -221,7 +229,7 @@ class ARBSystem:
             if not for_store:
                 return None, reclaim_squashed
             youngest = max(
-                (r for r in self.current_ranks().values() if r != rank),
+                (r for r in self._active_ranks.values() if r != rank),
                 default=None,
             )
             if youngest is None:
@@ -241,45 +249,59 @@ class ARBSystem:
         rank = self._task_of_unit[unit]
         if rank is None:
             raise ProtocolError(f"unit {unit} has no current task")
-        if addr % WORD_SIZE + size > WORD_SIZE:
+        offset = addr % WORD_SIZE
+        if offset + size > WORD_SIZE:
             raise ProtocolError("ARB accesses must fall within one word")
         self.stats.add("loads")
         row, _ = self._row_for(unit, addr, rank, for_store=False)
-        offset = addr % WORD_SIZE
         value_bytes = bytearray(size)
         if row is None:
             # Head-task load with a full buffer: nothing older can
             # violate it, so it reads the architectural data directly.
-            missing = list(range(size))
+            missing_mask = (1 << size) - 1
         else:
-            mask = _byte_mask(offset, size)
+            mask = ((1 << size) - 1) << offset
             # Record use-before-definition for the bytes this task has
             # not itself stored, then compose each byte from the closest
             # previous stage store, falling back to the data cache.
             entry = row.entry_for(rank)
             entry.load_mask |= mask & ~entry.store_mask
 
-            older = [
-                row.entries[r]
-                for r in sorted(
-                    (r for r in row.entries if r <= rank), reverse=True
-                )
-            ]
-            missing = []
-            for i in range(size):
-                byte_off = offset + i
-                bit = 1 << byte_off
-                for candidate in older:
-                    if candidate.store_mask & bit:
-                        value_bytes[i] = candidate.data[byte_off]
-                        break
-                else:
-                    missing.append(i)
+            # Walk candidates newest-first; the first store of each byte
+            # wins, exactly the closest-previous-stage rule. The common
+            # case — the row only holds this task's own entry — skips
+            # the rank sort entirely.
+            entries = row.entries
+            missing_mask = mask
+            if len(entries) == 1:
+                take = entry.store_mask & missing_mask
+                if take:
+                    data = entry.data
+                    for i in range(size):
+                        if take & (1 << (offset + i)):
+                            value_bytes[i] = data[offset + i]
+                    missing_mask &= ~take
+            else:
+                for r in sorted(entries, reverse=True):
+                    if r > rank:
+                        continue
+                    candidate = entries[r]
+                    take = candidate.store_mask & missing_mask
+                    if take:
+                        data = candidate.data
+                        for i in range(size):
+                            if take & (1 << (offset + i)):
+                                value_bytes[i] = data[offset + i]
+                        missing_mask &= ~take
+                        if not missing_mask:
+                            break
+            missing_mask >>= offset
         from_memory = False
-        if missing:
+        if missing_mask:
             cached, hit = self.data_cache.read(addr, size)
-            for i in missing:
-                value_bytes[i] = cached[i]
+            for i in range(size):
+                if missing_mask & (1 << i):
+                    value_bytes[i] = cached[i]
             if not hit:
                 from_memory = True
                 self.stats.add("memory_supplies")
@@ -300,12 +322,12 @@ class ARBSystem:
         rank = self._task_of_unit[unit]
         if rank is None:
             raise ProtocolError(f"unit {unit} has no current task")
-        if addr % WORD_SIZE + size > WORD_SIZE:
+        offset = addr % WORD_SIZE
+        if offset + size > WORD_SIZE:
             raise ProtocolError("ARB accesses must fall within one word")
         self.stats.add("stores")
         row, squashed = self._row_for(unit, addr, rank, for_store=True)
-        offset = addr % WORD_SIZE
-        mask = _byte_mask(offset, size)
+        mask = ((1 << size) - 1) << offset
 
         if row is None:
             # Head write-through: the buffer cannot hold the head's
@@ -327,15 +349,22 @@ class ARBSystem:
 
         # Memory-dependence check: a later task that loaded any of these
         # bytes used a stale value — squash it and everything younger.
-        for r in sorted(r for r in row.entries if r > rank):
-            later = row.entries[r]
-            remaining = mask & ~_accumulated_store_shadow(row, rank, r)
-            if later.load_mask & remaining:
-                squashed = sorted(
-                    set(squashed)
-                    | set(self.squash_from_rank(r, reason="violation"))
-                )
-                break
+        # Walking later tasks in ascending rank lets the store shadow
+        # (bytes redefined between the storer and the task under test)
+        # accumulate incrementally instead of being recomputed per task.
+        if len(row.entries) > 1:
+            remaining = mask
+            for r in sorted(row.entries):
+                if r <= rank or not remaining:
+                    continue
+                later = row.entries[r]
+                if later.load_mask & remaining:
+                    squashed = sorted(
+                        set(squashed)
+                        | set(self.squash_from_rank(r, reason="violation"))
+                    )
+                    break
+                remaining &= ~later.store_mask
 
         end = now + self.config.hit_cycles
         return AccessResult(
@@ -364,13 +393,3 @@ class ARBSystem:
         if accesses == 0:
             return 0.0
         return self.stats.get("memory_supplies") / accesses
-
-
-def _accumulated_store_shadow(row, storer_rank: int, upto_rank: int) -> int:
-    """Byte mask already redefined by tasks strictly between the storer
-    and ``upto_rank``: those bytes shield later loads from the new store."""
-    shadow = 0
-    for r, entry in row.entries.items():
-        if storer_rank < r < upto_rank:
-            shadow |= entry.store_mask
-    return shadow

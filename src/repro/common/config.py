@@ -176,6 +176,12 @@ class SVCConfig:
     #: Off = the seed's brute-force scans; behaviour must be identical
     #: either way (enforced by repro.harness.differential).
     use_directory: bool = True
+    #: Route the hot VCL snoop/supply/snarf/repair path through the
+    #: structure-of-arrays kernel (repro.svc.fastpath). Off = the
+    #: per-line object model alone, kept as the slow reference
+    #: implementation; behaviour must be identical either way
+    #: (enforced by repro.harness.differential, fastpath dimension).
+    use_fastpath: bool = True
 
     def __post_init__(self) -> None:
         if self.n_caches < 2:

@@ -1,11 +1,18 @@
-"""Differential oracle for the version directory fast path.
+"""Differential oracle for the SVC performance fast paths.
 
-The line-granular :class:`repro.svc.directory.VersionDirectory` exists
-purely to make snoop resolution O(holders) instead of O(caches x ways);
-it must never change *observable* behaviour. This module enforces that
-the hard way: run the same seeded workload twice on the same design
-tier — directory on (``SVCConfig.use_directory=True``, the default) and
-off (the seed's brute-force scans) — and demand byte-identical
+Two pure-speed mechanisms sit on the hot VCL/snoop/commit path and must
+never change *observable* behaviour:
+
+* the line-granular :class:`repro.svc.directory.VersionDirectory`
+  (``SVCConfig.use_directory``), which makes snoop resolution
+  O(holders) instead of O(caches x ways), and
+* the structure-of-arrays :class:`repro.svc.fastpath.FastpathKernel`
+  (``SVCConfig.use_fastpath``), which supplies copy-free residency
+  checks, stamp-compare snarf acceptance and fused VOL repair.
+
+This module enforces that the hard way: run the same seeded workload
+twice on the same design tier — fast path on (the default) and off
+(the seed's per-line object walks) — and demand byte-identical
 
 * protocol event streams (every bus transaction, squash, commit, VOL
   repair, in order, with identical payloads),
@@ -15,13 +22,15 @@ off (the seed's brute-force scans) — and demand byte-identical
 
 Workloads, schedules and fault plans are all seeded, so both runs make
 exactly the same decisions; the only degree of freedom left is the
-directory itself. Any divergence is a directory bug by construction.
+mechanism under test. Any divergence is a fast-path bug by
+construction.
 
 Used by the hypothesis property test
 (``tests/integration/test_property_differential.py``) across all six
 design tiers with fault injection on, and runnable standalone::
 
     PYTHONPATH=src python -m repro.harness.differential --seeds 10 --faults
+    PYTHONPATH=src python -m repro.harness.differential --dimension fastpath --faults
 """
 
 from __future__ import annotations
@@ -43,8 +52,14 @@ from repro.workloads.generator import WorkloadSpec, generate_tasks
 TIERS: Tuple[str, ...] = tuple(DESIGNS)
 
 
+#: Config-flag dimensions the differential oracle can exercise.
+DIMENSIONS: Tuple[str, ...] = ("directory", "fastpath")
+
+_DIMENSION_FLAGS = {"directory": "use_directory", "fastpath": "use_fastpath"}
+
+
 class DifferentialMismatch(AssertionError):
-    """Directory-on and directory-off runs diverged."""
+    """Fast-path-on and fast-path-off runs diverged."""
 
 
 @dataclass
@@ -97,39 +112,23 @@ def observe_run(
     )
 
 
-def _first_event_divergence(on: Tuple, off: Tuple) -> str:
+def _first_event_divergence(on: Tuple, off: Tuple, what: str = "mode") -> str:
     for i, (a, b) in enumerate(zip(on, off)):
         if a != b:
-            return f"event {i}: directory-on {a} != directory-off {b}"
+            return f"event {i}: {what}-on {a} != {what}-off {b}"
     return (
-        f"event stream lengths differ: directory-on {len(on)} "
-        f"!= directory-off {len(off)}"
+        f"event stream lengths differ: {what}-on {len(on)} "
+        f"!= {what}-off {len(off)}"
     )
 
 
-def compare_directory_modes(
-    tier: str,
-    tasks: List[TaskProgram],
-    seed: int = 0,
-    schedule: str = "random",
-    squash_probability: float = 0.0,
-    fault_plan: Optional[FaultPlan] = None,
-    base_config: Optional[SVCConfig] = None,
+def diff_observations(
+    on: RunObservation, off: RunObservation, what: str = "mode"
 ) -> List[str]:
-    """Run one tier both ways; return human-readable mismatches (empty = ok)."""
-    config = design_config(tier, base_config or SVCConfig.paper_32kb())
-    kwargs = dict(
-        seed=seed,
-        schedule=schedule,
-        squash_probability=squash_probability,
-        fault_plan=fault_plan,
-    )
-    on = observe_run(replace(config, use_directory=True), tasks, **kwargs)
-    off = observe_run(replace(config, use_directory=False), tasks, **kwargs)
-
+    """Human-readable divergences between two observations (empty = ok)."""
     mismatches: List[str] = []
     if on.events != off.events:
-        mismatches.append(_first_event_divergence(on.events, off.events))
+        mismatches.append(_first_event_divergence(on.events, off.events, what))
     if on.stats != off.stats:
         diff = {
             key: (on.stats.get(key, 0), off.stats.get(key, 0))
@@ -151,6 +150,57 @@ def compare_directory_modes(
             f"{off.injected_squashes})"
         )
     return mismatches
+
+
+def _compare_flag_modes(
+    dimension: str,
+    tier: str,
+    tasks: List[TaskProgram],
+    seed: int = 0,
+    schedule: str = "random",
+    squash_probability: float = 0.0,
+    fault_plan: Optional[FaultPlan] = None,
+    base_config: Optional[SVCConfig] = None,
+) -> List[str]:
+    flag = _DIMENSION_FLAGS[dimension]
+    config = design_config(tier, base_config or SVCConfig.paper_32kb())
+    kwargs = dict(
+        seed=seed,
+        schedule=schedule,
+        squash_probability=squash_probability,
+        fault_plan=fault_plan,
+    )
+    on = observe_run(replace(config, **{flag: True}), tasks, **kwargs)
+    off = observe_run(replace(config, **{flag: False}), tasks, **kwargs)
+    return diff_observations(on, off, what=dimension)
+
+
+def compare_directory_modes(
+    tier: str,
+    tasks: List[TaskProgram],
+    **kwargs,
+) -> List[str]:
+    """Run one tier with the version directory on and off; return
+    human-readable mismatches (empty = ok)."""
+    return _compare_flag_modes("directory", tier, tasks, **kwargs)
+
+
+def compare_fastpath_modes(
+    tier: str,
+    tasks: List[TaskProgram],
+    **kwargs,
+) -> List[str]:
+    """Run one tier with the structure-of-arrays fastpath kernel on and
+    off; return human-readable mismatches (empty = ok).
+
+    The off run exercises the seed's per-line object walks (byte
+    composition, per-line VOL repair); the on run exercises
+    :class:`repro.svc.fastpath.FastpathKernel`'s supply plans,
+    stamp-compare snarf acceptance and fused repair. Identical
+    observables across all tiers, faults and chaos schedules is the
+    kernel's correctness proof.
+    """
+    return _compare_flag_modes("fastpath", tier, tasks, **kwargs)
 
 
 def compare_telemetry_modes(
@@ -186,28 +236,7 @@ def compare_telemetry_modes(
     mismatches: List[str] = []
     if not tel.tracer.spans:
         mismatches.append("traced run recorded no spans (telemetry dead?)")
-    if on.events != off.events:
-        mismatches.append(_first_event_divergence(on.events, off.events))
-    if on.stats != off.stats:
-        diff = {
-            key: (on.stats.get(key, 0), off.stats.get(key, 0))
-            for key in set(on.stats) | set(off.stats)
-            if on.stats.get(key, 0) != off.stats.get(key, 0)
-        }
-        mismatches.append(f"stats diverged (traced, plain): {diff}")
-    if on.load_values != off.load_values:
-        mismatches.append("committed load values diverged")
-    if on.image != off.image:
-        mismatches.append("final memory images diverged")
-    if (on.violation_squashes, on.injected_squashes) != (
-        off.violation_squashes,
-        off.injected_squashes,
-    ):
-        mismatches.append(
-            f"squash counts diverged: traced ({on.violation_squashes}, "
-            f"{on.injected_squashes}) != plain ({off.violation_squashes}, "
-            f"{off.injected_squashes})"
-        )
+    mismatches.extend(diff_observations(on, off, what="telemetry"))
     return mismatches
 
 
@@ -239,8 +268,14 @@ def check_tier(
     seed: int,
     with_faults: bool = False,
     schedule: str = "random",
+    dimension: str = "directory",
 ) -> None:
-    """Raise :class:`DifferentialMismatch` if the directory is visible."""
+    """Raise :class:`DifferentialMismatch` if ``dimension`` (one of
+    :data:`DIMENSIONS`) changes any observable behaviour on one tier."""
+    if dimension not in _DIMENSION_FLAGS:
+        raise ValueError(
+            f"unknown dimension {dimension!r}; expected one of {DIMENSIONS}"
+        )
     tasks = differential_workload(seed)
     # The EC design assumes no squashes (paper section 3.4).
     allow_squashes = tier != "ec"
@@ -251,7 +286,8 @@ def check_tier(
         fault_plan = random_fault_plan(
             seed, len(tasks), 12, allow_squashes=allow_squashes
         )
-    mismatches = compare_directory_modes(
+    mismatches = _compare_flag_modes(
+        dimension,
         tier,
         tasks,
         seed=seed,
@@ -261,8 +297,8 @@ def check_tier(
     )
     if mismatches:
         raise DifferentialMismatch(
-            f"tier {tier!r}, seed {seed}: directory changed observable "
-            "behaviour:\n  " + "\n  ".join(mismatches)
+            f"tier {tier!r}, seed {seed}: {dimension} fast path changed "
+            "observable behaviour:\n  " + "\n  ".join(mismatches)
         )
 
 
@@ -270,7 +306,7 @@ def main(argv=None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
-        description="Differential check: version directory on vs off."
+        description="Differential check: SVC fast paths on vs off."
     )
     parser.add_argument("--seeds", type=int, default=5, help="seeds per tier")
     parser.add_argument(
@@ -279,12 +315,22 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--tiers", default=",".join(TIERS), help="comma-separated tier subset"
     )
+    parser.add_argument(
+        "--dimension",
+        default="directory",
+        choices=DIMENSIONS + ("all",),
+        help="which fast-path flag to flip (default: directory)",
+    )
     args = parser.parse_args(argv)
     tiers = tuple(t for t in args.tiers.split(",") if t)
-    for tier in tiers:
-        for seed in range(args.seeds):
-            check_tier(tier, seed, with_faults=args.faults)
-        print(f"{tier}: {args.seeds} seeds identical")
+    dimensions = DIMENSIONS if args.dimension == "all" else (args.dimension,)
+    for dimension in dimensions:
+        for tier in tiers:
+            for seed in range(args.seeds):
+                check_tier(
+                    tier, seed, with_faults=args.faults, dimension=dimension
+                )
+            print(f"{dimension}/{tier}: {args.seeds} seeds identical")
     return 0
 
 

@@ -18,7 +18,11 @@ from repro.common.config import ARBConfig, SVCConfig, UpdatePolicy
 from repro.harness.parallel import PointSpec, run_points
 from repro.svc.designs import design_config, final_design
 from repro.svc.system import SVCSystem
-from repro.telemetry import Telemetry
+from repro.telemetry import (
+    PRODUCTION_SAMPLE_INTERVAL,
+    PRODUCTION_TRACE_CAPACITY,
+    Telemetry,
+)
 from repro.timing.simulator import TimingReport, TimingSimulator
 from repro.workloads.spec95 import BENCHMARKS, spec95_tasks
 
@@ -117,10 +121,22 @@ def _point_telemetry(
 ) -> Optional[Telemetry]:
     """Tri-state wiring (see :class:`PointSpec`): ``None`` stays fully
     unwired, ``False`` constructs a disabled facade (so the disabled-mode
-    overhead is measurable), ``True`` records."""
+    overhead is measurable), ``True`` records.
+
+    Campaign points record under the production bounded/sampled
+    configuration — a span ring plus 1-in-N memory-op subtrees — which
+    is what keeps enabled-mode overhead inside the bench gate's budget.
+    Code that needs every span (unit tests, the exporter round-trips)
+    builds its own full-recording ``Telemetry()``.
+    """
     if telemetry is None:
         return None
-    return Telemetry(label=f"{benchmark}/{machine}", enabled=telemetry)
+    return Telemetry(
+        label=f"{benchmark}/{machine}",
+        enabled=telemetry,
+        capacity=PRODUCTION_TRACE_CAPACITY,
+        sample_interval=PRODUCTION_SAMPLE_INTERVAL,
+    )
 
 
 def _run_svc(

@@ -32,6 +32,25 @@ Serial mode (one worker) keeps the retry/quarantine/resume semantics
 in-process; wall-clock timeouts and real SIGKILL chaos require worker
 processes (a serial chaos ``kill`` degrades to a raised
 :class:`~repro.harness.chaos.WorkerKilled`).
+
+Invariants
+----------
+
+1. **Determinism under faults.** A campaign's results are a pure
+   function of (specs, seed): retries, pool rebuilds and cache hits
+   never change a single result byte vs. a fault-free serial run.
+2. **Conservation of points.** Every spec ends in exactly one terminal
+   outcome (``ok`` / ``cached`` / ``quarantined``), and the report's
+   counters account for every attempt — nothing is silently dropped.
+3. **Bounded work.** Attempts per point never exceed 1 + retries, and
+   backoff is monotone non-decreasing and capped, so a campaign always
+   terminates.
+4. **Near-zero overhead.** The no-fault supervised path must stay
+   within 3% of the bare fan-out (gated by ``tools/bench_perf.py``).
+
+docs/RESILIENCE.md documents the user-facing semantics: CLI flags and
+environment knobs, exit codes, the result-store keying rule, and the
+chaos plan format.
 """
 
 from __future__ import annotations

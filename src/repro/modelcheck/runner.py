@@ -263,8 +263,9 @@ def run_modelcheck(
     return report
 
 
-def modelcheck_main(argv: Optional[List[str]] = None) -> int:
-    """``python -m repro modelcheck [--pus N] [--ops N] [--lines N] ...``"""
+def build_parser():
+    """Argument parser for ``python -m repro modelcheck`` (exposed so
+    tools/check_docs.py can validate commands quoted in the docs)."""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -308,7 +309,12 @@ def modelcheck_main(argv: Optional[List[str]] = None) -> int:
         "--captures-dir", default=DEFAULT_CAPTURES_DIR,
         help="where counterexample captures are written",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def modelcheck_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro modelcheck [--pus N] [--ops N] [--lines N] ...``"""
+    args = build_parser().parse_args(argv)
 
     bounds = Bounds(
         pus=args.pus, ops=args.ops, lines=args.lines, tasks=args.tasks

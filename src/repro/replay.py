@@ -553,8 +553,9 @@ def shrink_case(
 # -- CLI ---------------------------------------------------------------------
 
 
-def replay_main(argv: Optional[List[str]] = None) -> int:
-    """``python -m repro replay <capture.json> [--shrink] [--output F]``"""
+def build_parser():
+    """Argument parser for ``python -m repro replay`` (exposed so
+    tools/check_docs.py can validate commands quoted in the docs)."""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -582,7 +583,12 @@ def replay_main(argv: Optional[List[str]] = None) -> int:
         help="re-run with telemetry recording and write Chrome-trace + "
         "metrics JSON artifacts into DIR",
     )
-    args = parser.parse_args(argv)
+    return parser
+
+
+def replay_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro replay <capture.json> [--shrink] [--output F]``"""
+    args = build_parser().parse_args(argv)
 
     try:
         capture = FailureCapture.load(args.capture)

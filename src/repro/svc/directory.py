@@ -31,7 +31,7 @@ the runtime :class:`repro.check.InvariantChecker` run it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ProtocolError
 from repro.svc.line import SVCLine
@@ -85,6 +85,14 @@ class VersionDirectory:
         if len(holders) == 1:
             return dict(holders)
         return {cid: holders[cid] for cid in sorted(holders)}
+
+    def holder_map(self, line_addr: int) -> Optional[Dict[int, SVCLine]]:
+        """The *internal* holder dict for one line, or ``None``.
+
+        Zero-copy accessor for the fastpath kernel's residency checks;
+        callers must treat the result as read-only.
+        """
+        return self._holders.get(line_addr)
 
     def holder_ids(self, line_addr: int) -> List[int]:
         holders = self._holders.get(line_addr)

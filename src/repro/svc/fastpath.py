@@ -1,0 +1,326 @@
+"""Structure-of-arrays fast path for the hot VCL protocol loop.
+
+:class:`FastpathKernel` reimplements the three dominant pieces of the
+bus-side hot path — snarf candidate evaluation, post-transaction VOL
+repair, and the exclusivity (X-bit) residency checks — against
+flat, transaction-scoped columns instead of repeated per-line object
+walks and dict copies:
+
+* **Supply plans without data movement.** A snarf candidate is accepted
+  or rejected from the per-block *content stamps* of its would-be fill
+  (one flat stamp column per insertion position, memoized across
+  candidates) instead of composing the full byte buffer per candidate
+  and comparing it against the bus data.
+* **Fused VOL repair.** Pointer rewrite, tail-stamp computation and
+  T-bit refresh run in one backward pass over the VOL using bitmask
+  columns (``store_mask & valid_mask``) rather than one
+  ``closest_previous_writer`` scan per block plus one ``is_fresh`` scan
+  per line.
+* **Copy-free residency checks.** Sole-holder and all-others-invalid
+  questions read the version directory's holder map in place instead of
+  materializing a fresh snapshot dict per question.
+* **Live rank columns.** The VCL reads the system's incrementally
+  maintained ``cache_id -> rank`` map directly instead of copying it on
+  every snoop (the map is only ever read during a transaction).
+
+Invariants
+----------
+
+1. **Observable equivalence.** With ``SVCConfig.use_fastpath`` off, the
+   VCL runs the original per-line object model (the slow reference
+   implementation); with it on, every event stream, statistics
+   snapshot, committed load value and final memory image must be
+   byte-identical. This is enforced the same way the PR-2 version
+   directory is: :mod:`repro.harness.differential` (fastpath dimension)
+   replays seeded workloads both ways across all six design tiers with
+   fault plans attached, and the conformance corpus pins the event
+   streams the default (fastpath-on) configuration emits.
+2. **Stamps name exact data states.** The stamp-compare snarf accept is
+   sound because a content stamp is allocated globally (one per store,
+   :meth:`repro.svc.system.SVCSystem.next_content_seq`) and written
+   back alongside the bytes it stamps — equal stamps at the same
+   (line, block) imply equal bytes. The T-bit staleness machinery and
+   clean-supply matching (:func:`repro.svc.vol.clean_supplier`) already
+   rely on exactly this invariant; when a candidate's stamps do *not*
+   match, the kernel falls back to the reference byte composition and
+   comparison, so stamp mismatches can only cost time, never
+   correctness.
+3. **No new state across transactions.** The kernel holds no mutable
+   protocol state: columns and plans live only for one bus transaction,
+   and the :class:`~repro.svc.line.SVCLine` objects remain the single
+   source of truth. There is nothing to desynchronize between requests.
+
+docs/PERFORMANCE.md explains the measured effect and the bench gate
+(per-tier events/sec floors); docs/ARCHITECTURE.md places the kernel in
+the subsystem map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.svc.line import SVCLine
+from repro.svc.vol import (
+    build_vol,
+    check_invariants,
+    clean_supplier,
+    closest_previous_writer,
+)
+from repro.telemetry import VOL_WALK
+
+# Mirror repro.svc.vcl's supplier source tags (importing vcl here would
+# be circular: vcl imports this module at wiring time).
+MEMORY = "memory"
+CACHE = "cache"
+CLEAN = "clean"
+
+
+class FastpathKernel:
+    """Transaction-scoped SoA kernels behind ``SVCConfig.use_fastpath``."""
+
+    __slots__ = ("vcl", "system", "_full_mask", "_n_blocks")
+
+    def __init__(self, vcl) -> None:
+        self.vcl = vcl
+        self.system = vcl.system
+        amap = self.system.amap
+        self._full_mask = amap.full_mask
+        self._n_blocks = amap.blocks_per_line
+
+    # -- rank columns --------------------------------------------------------
+
+    def ranks(self) -> Dict[int, int]:
+        """The live ``cache_id -> rank`` map (never mutated by readers).
+
+        The slow path copies this dict on every snoop so callers could
+        mutate it freely; no VCL code path ever does, so the fast path
+        hands out the incrementally maintained map itself.
+        """
+        return self.system._active_ranks
+
+    # -- supply plans --------------------------------------------------------
+
+    def supply_plan(
+        self,
+        line_addr: int,
+        entries: Dict[int, SVCLine],
+        vol: List[int],
+        position: int,
+    ) -> Tuple[Dict[int, Tuple[str, Optional[int]]], List[int]]:
+        """Per-block (supplier, stamp) columns for a full-line fill at
+        ``position`` — the metadata half of :meth:`VersionControlLogic.
+        _compose`, with no byte movement and no memory reads."""
+        memory_stamps = self.vcl.memory_stamps_for(line_addr)
+        suppliers: Dict[int, Tuple[str, Optional[int]]] = {}
+        stamps = [0] * self._n_blocks
+        for block in range(self._n_blocks):
+            writer = closest_previous_writer(entries, vol, position, block)
+            if writer is not None:
+                suppliers[block] = (CACHE, writer)
+                stamps[block] = entries[writer].block_content[block]
+                continue
+            stamps[block] = memory_stamps[block]
+            clean = clean_supplier(entries, block, memory_stamps)
+            if clean is not None:
+                suppliers[block] = (CLEAN, clean)
+            else:
+                suppliers[block] = (MEMORY, None)
+        return suppliers, stamps
+
+    @staticmethod
+    def _emit_supply_span(telemetry, position, suppliers) -> None:
+        """The VOL_WALK span the reference ``_compose`` would have
+        emitted for this candidate, so traces keep the same shape on
+        both paths."""
+        span = telemetry.begin(
+            VOL_WALK, "supply walk", phase="supply", position=position
+        )
+        sources = [src for src, _ in suppliers.values()]
+        telemetry.end(
+            span,
+            blocks=len(suppliers),
+            from_versions=sources.count(CACHE),
+            from_clean=sources.count(CLEAN),
+            from_memory=sources.count(MEMORY),
+        )
+
+    # -- snarf ---------------------------------------------------------------
+
+    def snarf(
+        self,
+        requestor: int,
+        line_addr: int,
+        new_line: SVCLine,
+        ranks: Dict[int, int],
+    ) -> List[int]:
+        """HR-design snarfing with stamp-compare accept.
+
+        Observably identical to the reference loop in
+        :meth:`VersionControlLogic._snarf`: the same candidates are
+        visited in the same order and the same copies are installed with
+        the same bits. Only the *mechanism* differs — a candidate whose
+        supply-plan stamps equal the bus line's stamps is accepted
+        without composing a byte buffer (invariant 2 in the module
+        docstring), and plans are memoized per insertion position until
+        an install changes the VOL.
+        """
+        system = self.system
+        vcl = self.vcl
+        telemetry = system.telemetry
+        snarfed: List[int] = []
+        entries = vcl._entries(line_addr)
+        vol = build_vol(entries, ranks)
+        plans: Dict[int, Tuple[Dict[int, Tuple[str, Optional[int]]], List[int]]] = {}
+        for cache in system.caches:
+            cid = cache.cache_id
+            if cid == requestor or cache.current_task is None:
+                continue
+            if cache.line_for(line_addr) is not None:
+                continue
+            if not cache.array.has_free_way(line_addr):
+                continue
+            position = vcl._insertion_index(vol, entries, ranks, ranks[cid])
+            plan = plans.get(position)
+            if plan is None:
+                plan = self.supply_plan(line_addr, entries, vol, position)
+                plans[position] = plan
+            suppliers, stamps = plan
+            if stamps == new_line.block_content:
+                data = new_line.data
+                if telemetry is not None:
+                    self._emit_supply_span(telemetry, position, suppliers)
+            else:
+                data, suppliers, stamp_map = vcl._compose(
+                    line_addr, entries, vol, position, self._full_mask
+                )
+                if bytes(data) != bytes(new_line.data):
+                    continue
+                stamps = [stamp_map.get(b, 0) for b in range(self._n_blocks)]
+            vcl._clear_supplier_exclusivity(entries, suppliers)
+            vcl._revoke_other_exclusivity(entries, cid)
+            copy = SVCLine(
+                data=bytearray(data),
+                valid_mask=self._full_mask,
+                architectural=vcl._suppliers_architectural(
+                    suppliers, entries, ranks
+                ),
+                version_seq=new_line.version_seq,
+                task_id=ranks[cid],
+            )
+            copy.ensure_block_stamps(self._n_blocks)
+            copy.block_content[:] = stamps
+            cache.install(line_addr, copy)
+            entries[cid] = copy
+            vol = build_vol(entries, ranks)
+            plans.clear()
+            snarfed.append(cid)
+            system.stats.add("snarfs")
+        return snarfed
+
+    # -- fused VOL repair ----------------------------------------------------
+
+    def finalize(self, line_addr: int) -> None:
+        """Pointer rewrite + T-bit refresh in one backward VOL pass.
+
+        Matches :meth:`VersionControlLogic._finalize_impl` exactly:
+        pointers mirror the rebuilt VOL, tail stamps are the newest
+        ``store_mask & valid_mask`` writer of each block (else the
+        memory stamp), and a line is stale iff any valid block's stamp
+        differs from the tail stamp.
+        """
+        vcl = self.vcl
+        system = self.system
+        entries = vcl._entries(line_addr)
+        ranks = system._active_ranks
+        vol = build_vol(entries, ranks)
+
+        # Late-bound through the vcl module namespace: the pointer
+        # rewrite is a deliberate seam (the checker's seeded-bug drill
+        # patches ``repro.svc.vcl.rewrite_pointers``), and both paths
+        # must break identically when it is broken.
+        import repro.svc.vcl as vcl_module
+
+        vcl_module.rewrite_pointers(entries, vol)
+
+        if system.features.stale_bit:
+            memory_stamps = vcl.memory_stamps_for(line_addr)
+            tail = list(memory_stamps)
+            remaining = self._full_mask
+            for cid in reversed(vol):
+                if not remaining:
+                    break
+                line = entries[cid]
+                writes = line.store_mask & line.valid_mask & remaining
+                if writes:
+                    content = line.block_content
+                    mask, block = writes, 0
+                    while mask:
+                        if mask & 1:
+                            tail[block] = content[block]
+                        mask >>= 1
+                        block += 1
+                    remaining &= ~writes
+            for cid in vol:
+                line = entries[cid]
+                content = line.block_content
+                mask, block = line.valid_mask, 0
+                stale = False
+                while mask:
+                    if mask & 1 and content[block] != tail[block]:
+                        stale = True
+                        break
+                    mask >>= 1
+                    block += 1
+                line.stale = stale
+
+        if system.config.check_invariants:
+            check_invariants(
+                entries,
+                vol,
+                ranks,
+                vcl.memory_stamps_for(line_addr),
+                check_stale=system.features.stale_bit,
+            )
+
+    # -- residency checks ----------------------------------------------------
+
+    def is_sole_holder(self, line_addr: int, requestor: int) -> bool:
+        """``set(holders) == {requestor}`` without snapshotting holders."""
+        directory = self.system.directory
+        if directory is not None:
+            holders = directory.holder_map(line_addr)
+            return (
+                holders is not None
+                and len(holders) == 1
+                and requestor in holders
+            )
+        found_self = False
+        for cache in self.system.caches:
+            if cache.line_for(line_addr) is None:
+                continue
+            if cache.cache_id != requestor:
+                return False
+            found_self = True
+        return found_self
+
+    def others_all_invalid(self, line_addr: int, requestor: int) -> bool:
+        """No cache but the requestor holds any valid data for the line."""
+        directory = self.system.directory
+        if directory is not None:
+            holders = directory.holder_map(line_addr)
+            if holders is None:
+                return True
+            for cid, line in holders.items():
+                if cid != requestor and line.valid_mask != 0:
+                    return False
+            return True
+        for cache in self.system.caches:
+            if cache.cache_id == requestor:
+                continue
+            line = cache.line_for(line_addr)
+            if line is not None and line.valid_mask != 0:
+                return False
+        return True
+
+
+__all__ = ["FastpathKernel"]

@@ -76,6 +76,59 @@ class VersionControlLogic:
         #: stamp, so staleness checks can tell copies of the current
         #: architectural image from copies of an older one.
         self._memory_stamps: Dict[int, List[int]] = {}
+        #: Structure-of-arrays kernel for the hot snarf/repair/residency
+        #: path (repro.svc.fastpath); None runs the reference per-line
+        #: object model. Observable behaviour is identical either way
+        #: (repro.harness.differential, fastpath dimension).
+        self._fast = None
+        if system.config.use_fastpath:
+            from repro.svc.fastpath import FastpathKernel
+
+            self._fast = FastpathKernel(self)
+        #: Telemetry histogram handles, captured at wiring time like the
+        #: bus's: snoop-shape metrics stay *exact* even when the timing
+        #: simulator unwires ``system.telemetry`` for sampled-out
+        #: memory-op subtrees (only spans are sampled, never metrics).
+        self._hist_fanout = None
+        self._hist_vol = None
+        self._fanout_batch = None
+        self._vol_batch = None
+        if system.telemetry is not None:
+            self._hist_fanout = system.telemetry.histogram(
+                "svc.snoop_fanout", FANOUT_EDGES, unit="caches"
+            )
+            self._hist_vol = system.telemetry.histogram(
+                "svc.vol_length", FANOUT_EDGES, unit="versions"
+            )
+            #: Batched per-snoop observations (index = fan-out / VOL
+            #: length, both bounded by the cache count): the snoop hot
+            #: path pays one list increment per histogram instead of a
+            #: call; the flush hook drains before every snapshot, so
+            #: the metrics stay exact.
+            self._fanout_batch = [0] * (len(system.caches) + 1)
+            self._vol_batch = [0] * (len(system.caches) + 1)
+            system.telemetry.on_snapshot(self._flush_snoop_shape)
+
+    def _flush_snoop_shape(self) -> None:
+        """Drain batched snoop-shape counts into the histograms
+        (idempotent: counts are zeroed as they flush)."""
+        for batch, hist in (
+            (self._fanout_batch, self._hist_fanout),
+            (self._vol_batch, self._hist_vol),
+        ):
+            if batch is None:
+                continue
+            for value, count in enumerate(batch):
+                if count:
+                    hist.observe_many(value, count)
+                    batch[value] = 0
+
+    @property
+    def fastpath(self):
+        """The :class:`repro.svc.fastpath.FastpathKernel` in use, or
+        ``None`` when ``SVCConfig.use_fastpath`` selected the reference
+        per-line object model."""
+        return self._fast
 
     def memory_stamps_for(self, line_addr: int) -> List[int]:
         stamps = self._memory_stamps.get(line_addr)
@@ -102,26 +155,32 @@ class VersionControlLogic:
         return entries
 
     def _ranks(self) -> Dict[int, int]:
+        if self._fast is not None:
+            # Live map; every VCL reader is read-only (fastpath kernel).
+            return self._fast.ranks()
         return self.system.current_ranks()
 
     def _snoop(self, line_addr: int, telemetry):
         """Holder snapshot + rank map + VOL reconstruction for one bus
         request, traced as a single snoop span with fan-out/VOL-length
-        histograms. ``telemetry=None`` is the plain fast path."""
+        histograms. ``telemetry=None`` skips the span; the batched
+        histogram counts accumulate whenever the handles were wired
+        (metrics are exact even when spans are being sampled)."""
         if telemetry is None:
             entries = self._entries(line_addr)
             ranks = self._ranks()
-            return entries, ranks, build_vol(entries, ranks)
+            vol = build_vol(entries, ranks)
+            if self._fanout_batch is not None:
+                self._fanout_batch[len(entries)] += 1
+                self._vol_batch[len(vol)] += 1
+            return entries, ranks, vol
         span = telemetry.begin(SNOOP, f"snoop {line_addr:#x}", line_addr=line_addr)
         entries = self._entries(line_addr)
         ranks = self._ranks()
         vol = build_vol(entries, ranks)
-        telemetry.histogram(
-            "svc.snoop_fanout", FANOUT_EDGES, unit="caches"
-        ).observe(len(entries))
-        telemetry.histogram(
-            "svc.vol_length", FANOUT_EDGES, unit="versions"
-        ).observe(len(vol))
+        if self._fanout_batch is not None:
+            self._fanout_batch[len(entries)] += 1
+            self._vol_batch[len(vol)] += 1
         telemetry.end(span, holders=len(entries), vol_length=len(vol))
         return entries, ranks, vol
 
@@ -302,6 +361,9 @@ class VersionControlLogic:
             telemetry.end(span)
 
     def _finalize_impl(self, line_addr: int) -> None:
+        if self._fast is not None:
+            self._fast.finalize(line_addr)
+            return
         entries = self._entries(line_addr)
         ranks = self._ranks()
         vol = build_vol(entries, ranks)
@@ -520,9 +582,11 @@ class VersionControlLogic:
         # 3.1): when the fill leaves the requestor as the only holder of
         # the line, a future store needs no invalidation window — any
         # later install revokes the grant before it could matter.
-        if not snarfed:
-            holders = self._entries(line_addr)
-            if set(holders) == {requestor} and not line.committed:
+        if not snarfed and not line.committed:
+            if self._fast is not None:
+                if self._fast.is_sole_holder(line_addr, requestor):
+                    line.exclusive = True
+            elif set(self._entries(line_addr)) == {requestor}:
                 line.exclusive = True
 
         # Repair before the bus event fires: observers of the "bus"
@@ -561,6 +625,8 @@ class VersionControlLogic:
     ) -> List[int]:
         """HR design: other caches copy the bus data when they could use
         this same version and have a free way (section 3.6)."""
+        if self._fast is not None:
+            return self._fast.snarf(requestor, line_addr, new_line, ranks)
         system = self.system
         snarfed = []
         entries = self._entries(line_addr)
@@ -852,11 +918,16 @@ class VersionControlLogic:
         # stale-while-clear and its eventual committed copy could be
         # wrongly reused (T-clear local reuse reads the old version).
         # Re-read residency: the window walk may have dropped copies.
-        line.exclusive = exclusive_ok and all(
-            other.valid_mask == 0
-            for cid, other in self._entries(line_addr).items()
-            if cid != requestor
-        )
+        if self._fast is not None:
+            line.exclusive = exclusive_ok and self._fast.others_all_invalid(
+                line_addr, requestor
+            )
+        else:
+            line.exclusive = exclusive_ok and all(
+                other.valid_mask == 0
+                for cid, other in self._entries(line_addr).items()
+                if cid != requestor
+            )
 
         # Repair before the bus event fires (see bus_read).
         self._finalize(line_addr)

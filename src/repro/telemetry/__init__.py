@@ -91,16 +91,62 @@ POINT_ATTEMPT = "point_attempt"
 SUPERVISOR_EVENT = "supervisor_event"
 
 
+#: Ring capacity / sampling interval used by campaign runners
+#: (:func:`repro.harness.experiments._point_telemetry`): keep the newest
+#: ~64k spans and 1-in-128 per-memory-op subtrees. A plain
+#: ``Telemetry()`` records everything — unit tests and the differential
+#: harness depend on full traces.
+PRODUCTION_TRACE_CAPACITY = 65536
+PRODUCTION_SAMPLE_INTERVAL = 128
+
+
 class Telemetry:
-    """One run's tracer + metrics, with convenience passthroughs."""
+    """One run's tracer + metrics, with convenience passthroughs.
 
-    __slots__ = ("label", "enabled", "tracer", "metrics")
+    ``capacity`` and ``sample_interval`` bound tracing cost for long
+    campaigns (see :mod:`repro.telemetry.tracer`); sampling applies to
+    :data:`MEM_OP` subtrees — the per-memory-operation envelopes that
+    account for nearly all span volume — while commits, squashes and
+    every warning/error instant are always recorded, and metrics stay
+    exact regardless.
+    """
 
-    def __init__(self, label: str = "run", enabled: bool = True) -> None:
+    __slots__ = ("label", "enabled", "tracer", "metrics", "_flush_hooks")
+
+    def __init__(
+        self,
+        label: str = "run",
+        enabled: bool = True,
+        capacity: Optional[int] = None,
+        sample_interval: int = 1,
+    ) -> None:
         self.label = label
         self.enabled = enabled
-        self.tracer = Tracer()
+        self.tracer = Tracer(
+            capacity=capacity,
+            sample_interval=sample_interval,
+            sample_kinds=(MEM_OP,),
+        )
         self.metrics = MetricsRegistry()
+        self._flush_hooks = []
+
+    # -- batched observation hooks -------------------------------------------
+
+    def on_snapshot(self, hook) -> None:
+        """Register a flush callback run before every :meth:`snapshot`.
+
+        Hot layers that batch metric observations in local accumulators
+        (the timing simulator's per-op MSHR occupancy) register one so
+        snapshots stay exact while the hot path pays a list increment
+        instead of a histogram call per event. Hooks must be idempotent:
+        flush-then-clear, safe to call any number of times.
+        """
+        self._flush_hooks.append(hook)
+
+    def flush(self) -> None:
+        """Drain every registered batch accumulator into the metrics."""
+        for hook in self._flush_hooks:
+            hook()
 
     # -- tracing passthroughs ------------------------------------------------
 
@@ -138,10 +184,13 @@ class Telemetry:
         over workers — the exporters merge a list of these into one
         coherent trace (one Chrome-trace process per payload).
         """
+        self.flush()
         return {
             "label": self.label,
             "clock": self.tracer.clock,
-            "spans": [span.to_dict() for span in self.tracer.spans],
+            "spans": self.tracer.export_spans(),
+            "dropped_spans": self.tracer.dropped,
+            "sample_interval": self.tracer.sample_interval,
             "metrics": self.metrics.snapshot(),
         }
 
@@ -180,6 +229,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PRODUCTION_SAMPLE_INTERVAL",
+    "PRODUCTION_TRACE_CAPACITY",
     "Span",
     "Telemetry",
     "Tracer",

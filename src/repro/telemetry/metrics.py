@@ -111,8 +111,28 @@ class Histogram:
         self.counts[bisect_left(self.edges, value)] += 1
         self.count += 1
         self.total += value
-        self.vmin = value if self.vmin is None else min(self.vmin, value)
-        self.vmax = value if self.vmax is None else max(self.vmax, value)
+        vmin = self.vmin
+        if vmin is None or value < vmin:
+            self.vmin = value
+        vmax = self.vmax
+        if vmax is None or value > vmax:
+            self.vmax = value
+
+    def observe_many(self, value, count: int) -> None:
+        """``count`` observations of ``value`` in one call — the flush
+        side of batched hot-path accumulators (identical result to
+        calling :meth:`observe` ``count`` times)."""
+        if count <= 0:
+            return
+        self.counts[bisect_left(self.edges, value)] += count
+        self.count += count
+        self.total += value * count
+        vmin = self.vmin
+        if vmin is None or value < vmin:
+            self.vmin = value
+        vmax = self.vmax
+        if vmax is None or value > vmax:
+            self.vmax = value
 
     @property
     def mean(self) -> float:

@@ -49,26 +49,6 @@ class PUTaskTiming:
         self._slots_used = 0
         self._last_mem_issue = self.start_time - 1
 
-    # -- issue modeling ------------------------------------------------------
-
-    def _ready_time(self, op: MemOp) -> int:
-        ready = self.start_time
-        for dep in op.depends_on:
-            if 0 <= dep < self.op_index:
-                ready = max(ready, self.completions[dep])
-        return ready
-
-    def _take_issue_slot(self, ready: int) -> int:
-        """In-order ``issue_width``-per-cycle slot assignment."""
-        cycle = max(ready, self._last_issue)
-        if cycle == self._last_issue and self._slots_used >= self.config.issue_width:
-            cycle += 1
-        if cycle > self._last_issue:
-            self._last_issue = cycle
-            self._slots_used = 0
-        self._slots_used += 1
-        return cycle
-
     # -- scheduling ---------------------------------------------------------------
 
     def schedule_to_next_mem(self) -> Optional[Tuple[int, MemOp]]:
@@ -77,22 +57,55 @@ class PUTaskTiming:
         Returns ``(issue_ready_time, op)`` for the pending memory
         operation, or ``None`` when the task has no further memory ops
         (it then finishes at :meth:`done_time`).
+
+        An op's *ready* time is the latest completion of its intra-task
+        dependences (clamped to the task start); its *issue* cycle is
+        the first cycle at or after ready with one of the
+        ``issue_width`` in-order slots free. This is the inner loop of
+        the whole timing simulator, so the slot state lives in locals
+        for the duration of the run and is written back only when the
+        loop pauses at a memory op or the task ends.
         """
         ops = self.program.ops
-        while self.op_index < len(ops):
-            op = ops[self.op_index]
-            ready = self._ready_time(op)
-            if op.kind == OpKind.COMPUTE:
-                issue = self._take_issue_slot(ready)
-                self.completions[self.op_index] = issue + op.latency
-                self.op_index += 1
+        op_index = self.op_index
+        n_ops = len(ops)
+        completions = self.completions
+        start_time = self.start_time
+        last_issue = self._last_issue
+        slots_used = self._slots_used
+        issue_width = self.config.issue_width
+        compute = OpKind.COMPUTE
+        while op_index < n_ops:
+            op = ops[op_index]
+            ready = start_time
+            for dep in op.depends_on:
+                if 0 <= dep < op_index and completions[dep] > ready:
+                    ready = completions[dep]
+            # In-order issue_width-per-cycle slot assignment.
+            if ready > last_issue:
+                last_issue = ready
+                slots_used = 1
+            elif slots_used >= issue_width:
+                last_issue += 1
+                slots_used = 1
+            else:
+                slots_used += 1
+            if op.kind == compute:
+                completions[op_index] = last_issue + op.latency
+                op_index += 1
                 continue
             # Memory op: one per cycle, program order through the LSQ,
             # one cycle of address generation.
-            issue = self._take_issue_slot(ready)
-            issue = max(issue, self._last_mem_issue + 1)
-            issue += self.config.timing.agen_cycles
-            return issue, op
+            self.op_index = op_index
+            self._last_issue = last_issue
+            self._slots_used = slots_used
+            issue = last_issue
+            if issue <= self._last_mem_issue:
+                issue = self._last_mem_issue + 1
+            return issue + self.config.timing.agen_cycles, op
+        self.op_index = op_index
+        self._last_issue = last_issue
+        self._slots_used = slots_used
         return None
 
     def complete_mem(self, issue_time: int, end_time: int) -> None:

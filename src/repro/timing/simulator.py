@@ -153,10 +153,42 @@ class TimingSimulator:
         #: memory-event hot path pays a single ``is not None`` check.
         self._telemetry = getattr(system, "telemetry", None)
         self._tel_mshr = None
+        self._tel_tracer = None
+        self._mshr_occ = None
+        #: Suppressed-root countdown (see ``Tracer.skip_roots``): when
+        #: the tracer samples MEM_OP roots 1-in-N, the memory-event hot
+        #: path pays one integer decrement per sampled-out op and
+        #: batch-syncs the tracer's slot counter at the next kept root,
+        #: keeping the cadence identical to per-op ``take_root`` calls.
+        self._sample_window = 0
+        self._root_countdown = 0
+        self._suppressed_pending = 0
         if self._telemetry is not None:
+            tracer = self._telemetry.tracer
+            self._tel_tracer = tracer
+            if tracer.sample_interval > 1 and MEM_OP in tracer.sample_kinds:
+                self._sample_window = tracer.sample_interval - 1
             self._tel_mshr = self._telemetry.histogram(
                 "mshr.occupancy", OCCUPANCY_EDGES, unit="entries"
             )
+            #: Batched occupancy counts (index = in-flight MSHRs): the
+            #: hot path pays one list increment per memory op instead of
+            #: a histogram call; the flush hook drains the batch before
+            #: any snapshot, so the metric stays exact.
+            self._mshr_occ = [0] * (per_unit + 1)
+            self._telemetry.on_snapshot(self._flush_mshr_occupancy)
+
+    def _flush_mshr_occupancy(self) -> None:
+        """Drain the batched MSHR occupancy counts into the histogram
+        (idempotent: counts are zeroed as they flush)."""
+        occ = self._mshr_occ
+        if occ is None:
+            return
+        hist = self._tel_mshr
+        for value, count in enumerate(occ):
+            if count:
+                hist.observe_many(value, count)
+                occ[value] = 0
 
     # -- event plumbing ---------------------------------------------------------
 
@@ -170,7 +202,7 @@ class TimingSimulator:
         rank = self._next_dispatch
         self._next_dispatch += 1
         start = time + self.processor.timing.task_dispatch_cycles
-        self.system.begin_task(pu, rank)
+        self._begin_task_recorded(pu, rank)
         state = PUTaskTiming(
             pu_id=pu,
             rank=rank,
@@ -182,6 +214,21 @@ class TimingSimulator:
         self._states[pu] = state
         self._rank_to_pu[rank] = pu
         self._schedule(pu, start)
+
+    def _begin_task_recorded(self, pu: int, rank: int) -> None:
+        """``system.begin_task`` with telemetry re-attached: task-begin
+        instants are always recorded, never sampled, so the detached
+        run-wide wiring is restored around this one call."""
+        telemetry = self._telemetry
+        if telemetry is None:
+            self.system.begin_task(pu, rank)
+            return
+        prev = self.system.telemetry
+        self.system.telemetry = telemetry
+        try:
+            self.system.begin_task(pu, rank)
+        finally:
+            self.system.telemetry = prev
 
     def _schedule(self, pu: int, time: int) -> None:
         state = self._states[pu]
@@ -204,7 +251,7 @@ class TimingSimulator:
             state.reset(restart)
             self._done_at.pop(rank, None)
             self._stall_streak[pu] = 0
-            self.system.begin_task(pu, rank)
+            self._begin_task_recorded(pu, rank)
             self._schedule(pu, restart)
 
     def _stall_report(self, stuck_pu: int, stall: ReplacementStall, now: int) -> str:
@@ -260,48 +307,80 @@ class TimingSimulator:
                 )
         telemetry = self._telemetry
         span = None
+        rewired = False
+        prev = None
         if telemetry is not None:
-            self._tel_mshr.observe(mshrs.in_flight())
-            span = telemetry.begin(
-                MEM_OP,
-                f"{'load' if op.kind == OpKind.LOAD else 'store'} {op.addr:#x}",
-                pu=pu,
-                rank=state.rank,
-                addr=op.addr,
-                cycle=now,
-            )
-        try:
-            if op.kind == OpKind.LOAD:
-                result = self.system.load(pu, op.addr, op.size, now=now)
-                end = result.end_cycle
+            # len() of the MSHR dict directly: this per-op increment is
+            # the cost of keeping the occupancy metric exact, so it
+            # skips the ``in_flight()`` call wrapper.
+            self._mshr_occ[len(mshrs._entries)] += 1
+            # Cooperative root sampling: ``run()`` detached the
+            # system's telemetry reference for the whole run, so a
+            # sampled-out op pays only this countdown decrement. A kept
+            # root syncs the batched slot count into the tracer,
+            # re-attaches the telemetry for the op's duration, and
+            # every protocol layer below records its subtree as usual.
+            countdown = self._root_countdown
+            if countdown:
+                self._root_countdown = countdown - 1
+                self._suppressed_pending += 1
             else:
-                result = self.system.store(pu, op.addr, op.value, op.size, now=now)
-                # Stores retire into the store buffer; dependents (none,
-                # by construction) would see them a cycle later.
-                end = now + 1
-        except ReplacementStall as stall:
+                pending = self._suppressed_pending
+                if pending:
+                    self._suppressed_pending = 0
+                    self._tel_tracer.skip_roots(MEM_OP, pending)
+                self._root_countdown = self._sample_window
+                rewired = True
+                prev = self.system.telemetry
+                self.system.telemetry = telemetry
+                span = telemetry.begin(
+                    MEM_OP,
+                    f"{'load' if op.kind == OpKind.LOAD else 'store'} "
+                    f"{op.addr:#x}",
+                    pu=pu,
+                    rank=state.rank,
+                    addr=op.addr,
+                    cycle=now,
+                )
+        try:
+            try:
+                if op.kind == OpKind.LOAD:
+                    result = self.system.load(pu, op.addr, op.size, now=now)
+                    end = result.end_cycle
+                else:
+                    result = self.system.store(
+                        pu, op.addr, op.value, op.size, now=now
+                    )
+                    # Stores retire into the store buffer; dependents
+                    # (none, by construction) would see them a cycle
+                    # later.
+                    end = now + 1
+            except ReplacementStall as stall:
+                if span is not None:
+                    telemetry.end(span, stalled=True)
+                self._stall_retries += 1
+                self._stall_streak[pu] += 1
+                if self._stall_streak[pu] > _WATCHDOG_STALL_STREAK:
+                    raise SimulationError(self._stall_report(pu, stall, now))
+                state.defer_mem(now + _STALL_RETRY)
+                self._schedule(pu, now + _STALL_RETRY)
+                return
             if span is not None:
-                telemetry.end(span, stalled=True)
-            self._stall_retries += 1
-            self._stall_streak[pu] += 1
-            if self._stall_streak[pu] > _WATCHDOG_STALL_STREAK:
-                raise SimulationError(self._stall_report(pu, stall, now))
-            state.defer_mem(now + _STALL_RETRY)
-            self._schedule(pu, now + _STALL_RETRY)
-            return
-        if span is not None:
-            telemetry.end(span, hit=result.hit, end_cycle=end)
-        self._stall_streak[pu] = 0
-        self._executed_memory_ops += 1
-        if not result.hit:
-            line_addr = self.system.amap.line_address(op.addr)
-            mshrs.allocate(line_addr, state.op_index, result.end_cycle)
-        state.complete_mem(now, end)
-        squashed = list(result.squashed_ranks)
-        if squashed:
-            self._violations += 1
-            self._restart_squashed(squashed, now)
-        self._schedule(pu, now)
+                telemetry.end(span, hit=result.hit, end_cycle=end)
+            self._stall_streak[pu] = 0
+            self._executed_memory_ops += 1
+            if not result.hit:
+                line_addr = self.system.amap.line_address(op.addr)
+                mshrs.allocate(line_addr, state.op_index, result.end_cycle)
+            state.complete_mem(now, end)
+            squashed = list(result.squashed_ranks)
+            if squashed:
+                self._violations += 1
+                self._restart_squashed(squashed, now)
+            self._schedule(pu, now)
+        finally:
+            if rewired:
+                self.system.telemetry = prev
 
     # -- commit machinery -----------------------------------------------------------------
 
@@ -314,6 +393,21 @@ class TimingSimulator:
         return head if head < len(committed) else None
 
     def _try_commits(self, now: int) -> None:
+        """Commit-wave spans (COMMIT, WB_DRAIN, misprediction SQUASH)
+        are always recorded, so the detached run-wide telemetry wiring
+        is restored for the whole wave."""
+        telemetry = self._telemetry
+        if telemetry is None:
+            self._try_commits_impl(now)
+            return
+        prev = self.system.telemetry
+        self.system.telemetry = telemetry
+        try:
+            self._try_commits_impl(now)
+        finally:
+            self.system.telemetry = prev
+
+    def _try_commits_impl(self, now: int) -> None:
         while True:
             head = self._head_rank()
             if head is None or head not in self._done_at:
@@ -356,11 +450,32 @@ class TimingSimulator:
             tasks=len(self.tasks),
             pus=self.processor.n_pus,
         )
+        # Inverted wiring: the system's telemetry reference stays
+        # detached for the whole run and is re-attached only around the
+        # always-recorded sections (commits, task dispatch, squash
+        # restarts) and around kept mem-op roots — so a sampled-out
+        # memory op pays nothing beyond the sampling counter itself.
+        # Metric handles captured at wiring time (bus wait/occupancy,
+        # VCL snoop shape, MSHR occupancy) keep observing throughout,
+        # so metrics stay exact; only spans and instants routed through
+        # the detached reference are sampled.
+        self.system.telemetry = None
         try:
             report = self._run_impl()
         finally:
+            self.system.telemetry = telemetry
             # Closes the span and any descendants a raise left open.
             telemetry.end(span)
+            # Sync outstanding suppressed-root slots so the tracer's
+            # sampling counter is exact if this tracer is reused.
+            pending = self._suppressed_pending
+            if pending:
+                self._suppressed_pending = 0
+                self._tel_tracer.skip_roots(MEM_OP, pending)
+            # Drain every batched-metric accumulator (this simulator's
+            # MSHR occupancy, the VCL's snoop shape) so callers reading
+            # metrics without snapshotting still see exact counts.
+            telemetry.flush()
         telemetry.end(
             span,
             cycles=report.cycles,

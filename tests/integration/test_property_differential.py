@@ -1,11 +1,13 @@
-"""Property-based proof that the version directory is invisible.
+"""Property-based proof that the SVC fast paths are invisible.
 
 Hypothesis draws a design tier, a seeded workload, a schedule and a
 fault plan, then :mod:`repro.harness.differential` runs the same case
-twice — directory on and off — and demands byte-identical event
-streams, stats, committed load values and final memory images. The
-directory is a snoop-filtering index only; any observable divergence is
-a bug in its maintenance, not a legal behaviour change.
+twice — fast path on and off — and demands byte-identical event
+streams, stats, committed load values and final memory images. Two
+dimensions are exercised: the version directory (a snoop-filtering
+index only) and the structure-of-arrays fastpath kernel (a pure-speed
+rewrite of supply, snarf acceptance and VOL repair). Any observable
+divergence is a bug in the mechanism, not a legal behaviour change.
 """
 
 import pytest
@@ -13,8 +15,9 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.faults import FaultPlan
 from repro.harness.differential import (
+    DIMENSIONS,
     TIERS,
-    compare_directory_modes,
+    _compare_flag_modes,
     differential_workload,
 )
 from repro.hier.driver import SpeculativeExecutionDriver
@@ -46,11 +49,12 @@ def fault_plans(draw, n_tasks, allow_squashes=True):
     )
 
 
+@pytest.mark.parametrize("dimension", DIMENSIONS)
 @pytest.mark.parametrize("tier", TIERS)
-class TestDirectoryIsObservationallyInvisible:
+class TestFastPathsAreObservationallyInvisible:
     @SETTINGS
     @given(data=st.data())
-    def test_directory_on_equals_off(self, tier, data):
+    def test_fast_path_on_equals_off(self, tier, dimension, data):
         workload_seed = data.draw(st.integers(0, 2**10))
         tasks = differential_workload(
             workload_seed,
@@ -63,7 +67,8 @@ class TestDirectoryIsObservationallyInvisible:
         schedule = data.draw(
             st.sampled_from(SpeculativeExecutionDriver.SCHEDULES)
         )
-        mismatches = compare_directory_modes(
+        mismatches = _compare_flag_modes(
+            dimension,
             tier,
             tasks,
             seed=data.draw(st.integers(0, 2**16)),

@@ -1,0 +1,151 @@
+"""The structure-of-arrays fastpath kernel is observationally invisible.
+
+:class:`repro.svc.fastpath.FastpathKernel` exists purely for speed —
+supply plans without byte movement, stamp-compare snarf acceptance,
+fused VOL repair, copy-free residency checks. These tests pin the
+wiring (``SVCConfig.use_fastpath`` selects the kernel, off selects the
+per-line reference walks), check the kernel's answers against brute
+force on live systems, and replay seeded workloads with fault plans
+both ways demanding byte-identical observables. The broad seed sweep
+lives in ``tests/integration/test_property_differential.py``; these
+are the fast deterministic anchors.
+"""
+
+import pytest
+
+from conftest import make_svc
+from repro.faults import random_fault_plan
+from repro.harness.differential import (
+    TIERS,
+    compare_fastpath_modes,
+    differential_workload,
+)
+
+A = 0x100
+
+
+def begin_all(system, n=4):
+    for cache_id in range(n):
+        system.begin_task(cache_id, cache_id)
+    return system
+
+
+# -- wiring ------------------------------------------------------------------
+
+
+def test_fastpath_on_by_default():
+    system = make_svc("final")
+    assert system.config.use_fastpath
+    assert system.vcl.fastpath is not None
+
+
+def test_fastpath_off_selects_reference_path():
+    system = make_svc("final", use_fastpath=False)
+    assert system.vcl.fastpath is None
+
+
+# -- kernel answers vs brute force -------------------------------------------
+
+
+def _sharing_system():
+    """Four tasks, one line with a mid-chain version and mixed holders."""
+    system = begin_all(make_svc("hr"))
+    system.memory.write_int(A, 4, 0x42)
+    system.store(1, A, 11)
+    system.load(0, A)
+    system.load(3, A)
+    return system
+
+
+def _brute_holders(system, line_addr):
+    return {
+        cache.cache_id
+        for cache in system.caches
+        if cache.line_for(line_addr) is not None
+    }
+
+
+@pytest.mark.parametrize("use_directory", [True, False])
+def test_residency_checks_match_brute_force(use_directory):
+    system = begin_all(make_svc("hr", use_directory=use_directory))
+    system.memory.write_int(A, 4, 0x42)
+    system.store(1, A, 11)
+    system.load(0, A)
+    kernel = system.vcl.fastpath
+    line_addr = system.amap.line_address(A)
+    for requestor in range(4):
+        holders = _brute_holders(system, line_addr)
+        assert kernel.is_sole_holder(line_addr, requestor) == (
+            holders == {requestor}
+        )
+        expected_invalid = all(
+            system.caches[c].line_for(line_addr) is None
+            or system.caches[c].line_for(line_addr).valid_mask == 0
+            for c in holders
+            if c != requestor
+        )
+        assert kernel.others_all_invalid(line_addr, requestor) == expected_invalid
+
+
+def test_ranks_column_is_the_live_map():
+    system = _sharing_system()
+    kernel = system.vcl.fastpath
+    assert kernel.ranks() == system.current_ranks()
+    system.commit_head(0)
+    assert kernel.ranks() == system.current_ranks()
+
+
+def test_supply_plan_stamps_match_composed_bytes():
+    """A plan whose stamps equal a composed line's stamps must describe
+    the same bytes (invariant 2: equal stamps imply equal data)."""
+    from repro.svc.vol import build_vol
+
+    system = _sharing_system()
+    vcl = system.vcl
+    kernel = vcl.fastpath
+    line_addr = system.amap.line_address(A)
+    entries = vcl._entries(line_addr)
+    ranks = system.current_ranks()
+    vol = build_vol(entries, ranks)
+    for position in range(len(vol) + 1):
+        suppliers, stamps = kernel.supply_plan(line_addr, entries, vol, position)
+        data, ref_suppliers, stamp_map = vcl._compose(
+            line_addr, entries, vol, position, system.amap.full_mask
+        )
+        assert suppliers == ref_suppliers
+        assert stamps == [
+            stamp_map.get(b, 0) for b in range(system.amap.blocks_per_line)
+        ]
+
+
+# -- differential anchors (fixed seeds, fault plans attached) ----------------
+
+
+@pytest.mark.parametrize("tier", TIERS)
+def test_fastpath_equals_reference_with_faults(tier):
+    seed = 3
+    tasks = differential_workload(seed, n_tasks=10, ops_per_task=8)
+    allow_squashes = tier != "ec"
+    plan = random_fault_plan(seed, len(tasks), 8, allow_squashes=allow_squashes)
+    mismatches = compare_fastpath_modes(
+        tier,
+        tasks,
+        seed=seed,
+        squash_probability=0.05 if allow_squashes else 0.0,
+        fault_plan=plan,
+    )
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_fastpath_equals_reference_adversarial_schedule():
+    """youngest_first maximizes misspeculation — the squash/repair path
+    is where a desynchronized kernel would show first."""
+    tasks = differential_workload(11, n_tasks=12, ops_per_task=10)
+    mismatches = compare_fastpath_modes(
+        "final",
+        tasks,
+        seed=11,
+        schedule="youngest_first",
+        squash_probability=0.1,
+    )
+    assert not mismatches, "\n".join(mismatches)

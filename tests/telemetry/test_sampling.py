@@ -1,0 +1,270 @@
+"""Ring-buffer capacity and root sampling keep telemetry cheap *and* honest.
+
+The tracer's two cost bounds (``capacity`` rings out old spans,
+``sample_interval`` keeps 1-in-N subtrees of a sampled root kind) must
+never corrupt what survives: eviction counts are reported, causal links
+are healed on export, the kept/suppressed cadence is deterministic, and
+warning/error instants punch through suppression. The cooperative
+``next_root_kept``/``skip_root`` protocol the timing simulator uses
+must consume exactly the same sampling slots as uncooperative
+``begin`` calls, so both styles see the same roots.
+"""
+
+import pytest
+
+from repro.telemetry import (
+    MEM_OP,
+    PRODUCTION_SAMPLE_INTERVAL,
+    PRODUCTION_TRACE_CAPACITY,
+    Telemetry,
+)
+from repro.telemetry.tracer import Tracer, _SuppressedSpan
+
+
+# -- ring buffer -------------------------------------------------------------
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        tracer = Tracer()
+        for i in range(100):
+            tracer.end(tracer.begin("op", f"op {i}"))
+        assert tracer.capacity is None
+        assert tracer.dropped == 0
+        assert len(tracer.spans) == 100
+
+    def test_capacity_evicts_oldest_and_counts_drops(self):
+        tracer = Tracer(capacity=10)
+        for i in range(25):
+            tracer.end(tracer.begin("op", f"op {i}"))
+        assert tracer.capacity == 10
+        assert len(tracer.spans) == 10
+        assert tracer.dropped == 15
+        # Newest survive; ids keep incrementing despite eviction.
+        assert [s.name for s in tracer.spans] == [f"op {i}" for i in range(15, 25)]
+        assert [s.span_id for s in tracer.spans] == list(range(16, 26))
+
+    def test_export_heals_evicted_parents(self):
+        tracer = Tracer(capacity=4)
+        for i in range(6):
+            root = tracer.begin("root", f"root {i}")
+            tracer.end(tracer.begin("child", f"child {i}"))
+            tracer.end(root)
+        exported = tracer.export_spans()
+        present = {d["id"] for d in exported}
+        for data in exported:
+            # No dangling parent pointers: either the parent survived
+            # or the span was promoted to top level.
+            assert data["parent"] is None or data["parent"] in present
+
+    def test_snapshot_reports_drops(self):
+        tel = Telemetry(capacity=5)
+        for i in range(12):
+            tel.end(tel.begin("op", f"op {i}"))
+        snap = tel.snapshot()
+        assert snap["dropped_spans"] == 7
+        assert len(snap["spans"]) == 5
+
+
+# -- root sampling -----------------------------------------------------------
+
+
+def run_roots(tracer, n, children=1):
+    """n MEM_OP roots, each with ``children`` nested protocol spans."""
+    for i in range(n):
+        root = tracer.begin(MEM_OP, f"root {i}")
+        for c in range(children):
+            child = tracer.begin("bus_txn", f"txn {i}.{c}")
+            tracer.instant("event", f"ev {i}.{c}")
+            tracer.end(child)
+        tracer.end(root)
+
+
+class TestRootSampling:
+    def test_first_root_always_kept_then_one_in_n(self):
+        tracer = Tracer(sample_interval=4, sample_kinds=(MEM_OP,))
+        run_roots(tracer, 10)
+        kept = [s.name for s in tracer.of_kind(MEM_OP)]
+        assert kept == ["root 0", "root 4", "root 8"]
+
+    def test_suppressed_root_drops_entire_subtree(self):
+        tracer = Tracer(sample_interval=2, sample_kinds=(MEM_OP,))
+        run_roots(tracer, 4, children=2)
+        # Roots 0 and 2 kept, each with 2 children + 2 instants.
+        assert len(tracer.of_kind(MEM_OP)) == 2
+        assert len(tracer.of_kind("bus_txn")) == 4
+        assert len(tracer.of_kind("event")) == 4
+
+    def test_sampling_is_deterministic(self):
+        def trace():
+            tracer = Tracer(sample_interval=3, sample_kinds=(MEM_OP,))
+            run_roots(tracer, 20, children=2)
+            return [s.to_dict() for s in tracer.spans]
+
+        assert trace() == trace()
+
+    def test_unsampled_kinds_unaffected(self):
+        tracer = Tracer(sample_interval=4, sample_kinds=(MEM_OP,))
+        for i in range(8):
+            tracer.end(tracer.begin("commit", f"commit {i}"))
+        assert len(tracer.of_kind("commit")) == 8
+
+    def test_warning_and_error_instants_punch_through(self):
+        tracer = Tracer(sample_interval=2, sample_kinds=(MEM_OP,))
+        outer = tracer.begin("campaign")
+        for i in range(4):
+            root = tracer.begin(MEM_OP, f"root {i}")
+            tracer.instant("violation", f"bad {i}", level="error")
+            tracer.instant("note", f"note {i}", level="info")
+            tracer.end(root)
+        tracer.end(outer)
+        errors = tracer.of_kind("violation")
+        assert [s.name for s in errors] == [f"bad {i}" for i in range(4)]
+        # Suppressed-subtree errors reparent to the innermost recorded
+        # span; info instants vanish with their subtree.
+        campaign_id = tracer.of_kind("campaign")[0].span_id
+        suppressed_errors = [s for s in errors if s.name in ("bad 1", "bad 3")]
+        assert all(s.parent_id == campaign_id for s in suppressed_errors)
+        assert [s.name for s in tracer.of_kind("note")] == ["note 0", "note 2"]
+
+    def test_depth_tracks_suppressed_spans_and_double_end_is_safe(self):
+        tracer = Tracer(sample_interval=2, sample_kinds=(MEM_OP,))
+        tracer.end(tracer.begin(MEM_OP, "kept"))
+        root = tracer.begin(MEM_OP, "suppressed")
+        assert isinstance(root, _SuppressedSpan)
+        child = tracer.begin("bus_txn")
+        assert isinstance(child, _SuppressedSpan)
+        assert tracer.depth == 2
+        tracer.end(child)
+        tracer.end(child)  # double end: no-op
+        assert tracer.depth == 1
+        tracer.end(root)
+        assert tracer.depth == 0
+        # Suppression cleared: the next root (slot 2, even) is recorded.
+        kept = tracer.begin(MEM_OP, "kept 2")
+        assert not isinstance(kept, _SuppressedSpan)
+        tracer.end(kept)
+
+    def test_real_span_end_closes_suppressed_descendants(self):
+        """An exception unwind that ends only the outer real span must
+        clear suppression state along with the stack."""
+        tracer = Tracer(sample_interval=2, sample_kinds=(MEM_OP,))
+        outer = tracer.begin("campaign")
+        tracer.end(tracer.begin(MEM_OP, "kept"))
+        tracer.begin(MEM_OP, "suppressed")  # never ended
+        tracer.begin("bus_txn")  # never ended
+        tracer.end(outer)
+        assert tracer.depth == 0
+        kept = tracer.begin(MEM_OP, "kept 2")
+        assert not isinstance(kept, _SuppressedSpan)
+        tracer.end(kept)
+
+
+# -- cooperative peek/skip protocol ------------------------------------------
+
+
+class TestCooperativeSampling:
+    def test_peek_consumes_nothing(self):
+        tracer = Tracer(sample_interval=3, sample_kinds=(MEM_OP,))
+        for _ in range(5):
+            assert tracer.next_root_kept(MEM_OP)
+        tracer.end(tracer.begin(MEM_OP, "root 0"))
+        assert not tracer.next_root_kept(MEM_OP)
+
+    def test_skip_root_consumes_one_slot(self):
+        tracer = Tracer(sample_interval=3, sample_kinds=(MEM_OP,))
+        decisions = []
+        for i in range(9):
+            kept = tracer.next_root_kept(MEM_OP)
+            decisions.append(kept)
+            if kept:
+                tracer.end(tracer.begin(MEM_OP, f"root {i}"))
+            else:
+                tracer.skip_root(MEM_OP)
+        assert decisions == [True, False, False] * 3
+
+    def test_cooperative_matches_uncooperative_cadence(self):
+        """Peek/skip and plain begin/end must keep the same roots."""
+        interval = 4
+
+        coop = Tracer(sample_interval=interval, sample_kinds=(MEM_OP,))
+        kept_coop = []
+        for i in range(17):
+            if coop.next_root_kept(MEM_OP):
+                kept_coop.append(i)
+                coop.end(coop.begin(MEM_OP, f"root {i}"))
+            else:
+                coop.skip_root(MEM_OP)
+
+        plain = Tracer(sample_interval=interval, sample_kinds=(MEM_OP,))
+        run_roots(plain, 17)
+        kept_plain = [int(s.name.split()[1]) for s in plain.of_kind(MEM_OP)]
+
+        assert kept_coop == kept_plain
+
+    def test_batched_skip_roots_matches_cadence(self):
+        """A countdown loop that batch-syncs via ``skip_roots`` (the
+        timing simulator's protocol) keeps the same roots as plain
+        begin/end."""
+        interval = 4
+
+        batched = Tracer(sample_interval=interval, sample_kinds=(MEM_OP,))
+        countdown = 0
+        pending = 0
+        kept_batched = []
+        for i in range(17):
+            if countdown:
+                countdown -= 1
+                pending += 1
+            else:
+                batched.skip_roots(MEM_OP, pending)
+                pending = 0
+                countdown = interval - 1
+                kept_batched.append(i)
+                batched.end(batched.begin(MEM_OP, f"root {i}"))
+
+        plain = Tracer(sample_interval=interval, sample_kinds=(MEM_OP,))
+        run_roots(plain, 17)
+        kept_plain = [int(s.name.split()[1]) for s in plain.of_kind(MEM_OP)]
+
+        assert kept_batched == kept_plain
+        # Both tracers consumed the same number of sampling slots.
+        batched.skip_roots(MEM_OP, pending)
+        assert batched._sample_seen[MEM_OP] == plain._sample_seen[MEM_OP]
+
+    def test_peek_false_inside_suppressed_subtree(self):
+        tracer = Tracer(sample_interval=2, sample_kinds=(MEM_OP,))
+        tracer.end(tracer.begin(MEM_OP, "kept"))
+        root = tracer.begin(MEM_OP, "suppressed")
+        assert not tracer.next_root_kept("anything")
+        tracer.end(root)
+
+    def test_interval_one_keeps_everything(self):
+        tracer = Tracer(sample_interval=1, sample_kinds=(MEM_OP,))
+        run_roots(tracer, 6)
+        assert len(tracer.of_kind(MEM_OP)) == 6
+        assert tracer.next_root_kept(MEM_OP)
+
+
+# -- production wiring -------------------------------------------------------
+
+
+class TestProductionConfig:
+    def test_production_constants_are_bounded(self):
+        assert PRODUCTION_TRACE_CAPACITY > 0
+        assert PRODUCTION_SAMPLE_INTERVAL > 1
+
+    def test_telemetry_passes_knobs_to_tracer(self):
+        tel = Telemetry(
+            capacity=PRODUCTION_TRACE_CAPACITY,
+            sample_interval=PRODUCTION_SAMPLE_INTERVAL,
+        )
+        assert tel.tracer.capacity == PRODUCTION_TRACE_CAPACITY
+        assert tel.tracer.sample_interval == PRODUCTION_SAMPLE_INTERVAL
+        snap = tel.snapshot()
+        assert snap["sample_interval"] == PRODUCTION_SAMPLE_INTERVAL
+
+    def test_default_telemetry_records_everything(self):
+        tel = Telemetry()
+        assert tel.tracer.capacity is None
+        assert tel.tracer.sample_interval == 1
