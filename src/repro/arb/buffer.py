@@ -22,7 +22,7 @@ from repro.common.errors import ConfigError, ProtocolError
 WORD_SIZE = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class ARBEntry:
     """One (row, stage) cell: byte-masked load/store state plus data."""
 
@@ -35,7 +35,7 @@ class ARBEntry:
         return self.load_mask == 0 and self.store_mask == 0
 
 
-@dataclass
+@dataclass(slots=True)
 class ARBRow:
     """One fully-associative row: a word address and per-task entries.
 
@@ -68,7 +68,10 @@ class ARBRow:
 
     @property
     def empty(self) -> bool:
-        return all(entry.empty for entry in self.entries.values())
+        for entry in self.entries.values():
+            if entry.load_mask or entry.store_mask:
+                return False
+        return True
 
 
 class AddressResolutionBuffer:

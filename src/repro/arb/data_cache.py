@@ -17,7 +17,7 @@ from repro.mem.main_memory import MainMemory
 from repro.mem.storage import SetAssociativeArray
 
 
-@dataclass
+@dataclass(slots=True)
 class DataCacheLine:
     data: bytearray
     dirty: bool = False
@@ -37,6 +37,22 @@ class SharedDataCache:
         self.memory = memory
         self.stats = stats if stats is not None else StatsRegistry()
         self.array: SetAssociativeArray[DataCacheLine] = SetAssociativeArray(geometry)
+        # Hot-path address math, precomputed once (read/write are on the
+        # ARB's per-access critical path). The direct-mapped fast path
+        # additionally indexes the backing array's sets inline.
+        line_size = geometry.line_size
+        self._offset_mask = line_size - 1 if line_size & (line_size - 1) == 0 else None
+        array = self.array
+        self._fast_sets = None
+        if (
+            self._offset_mask is not None
+            and array._line_shift is not None
+            and geometry.associativity == 1
+        ):
+            self._fast_sets = array._sets
+            self._line_shift = array._line_shift
+            self._set_mask = array._set_mask
+        self._counters = self.stats._counters
 
     def _fill(self, line_addr: int) -> DataCacheLine:
         """Fetch a line from memory, evicting (and writing back) if needed."""
@@ -55,24 +71,63 @@ class SharedDataCache:
 
     def read(self, addr: int, size: int) -> Tuple[bytes, bool]:
         """Read bytes; returns (data, hit?)."""
-        line_addr = self.amap.line_address(addr)
-        line = self.array.lookup(line_addr)
+        fast_sets = self._fast_sets
+        if fast_sets is not None:
+            offset = addr & self._offset_mask
+            line_addr = addr - offset
+            line = fast_sets[(line_addr >> self._line_shift) & self._set_mask].get(
+                line_addr
+            )
+        else:
+            line_addr = self.amap.line_address(addr)
+            offset = self.amap.line_offset(addr)
+            line = self.array.lookup(line_addr)
         hit = line is not None
         if line is None:
-            self.stats.add("dcache_misses")
+            self._counters["dcache_misses"] += 1
             line = self._fill(line_addr)
-        offset = self.amap.line_offset(addr)
         return bytes(line.data[offset : offset + size]), hit
+
+    def read_value(self, addr: int, size: int) -> Tuple[int, bool]:
+        """Read a little-endian integer; returns (value, hit?).
+
+        Same lookup as :meth:`read` without materializing the
+        intermediate ``bytes`` — the ARB's load path wants the integer.
+        """
+        fast_sets = self._fast_sets
+        if fast_sets is not None:
+            offset = addr & self._offset_mask
+            line_addr = addr - offset
+            line = fast_sets[(line_addr >> self._line_shift) & self._set_mask].get(
+                line_addr
+            )
+        else:
+            line_addr = self.amap.line_address(addr)
+            offset = self.amap.line_offset(addr)
+            line = self.array.lookup(line_addr)
+        hit = line is not None
+        if line is None:
+            self._counters["dcache_misses"] += 1
+            line = self._fill(line_addr)
+        return int.from_bytes(line.data[offset : offset + size], "little"), hit
 
     def write(self, addr: int, data: bytes) -> bool:
         """Write bytes (fetch-on-write-miss); returns hit?."""
-        line_addr = self.amap.line_address(addr)
-        line = self.array.lookup(line_addr)
+        fast_sets = self._fast_sets
+        if fast_sets is not None:
+            offset = addr & self._offset_mask
+            line_addr = addr - offset
+            line = fast_sets[(line_addr >> self._line_shift) & self._set_mask].get(
+                line_addr
+            )
+        else:
+            line_addr = self.amap.line_address(addr)
+            offset = self.amap.line_offset(addr)
+            line = self.array.lookup(line_addr)
         hit = line is not None
         if line is None:
-            self.stats.add("dcache_misses")
+            self._counters["dcache_misses"] += 1
             line = self._fill(line_addr)
-        offset = self.amap.line_offset(addr)
         line.data[offset : offset + len(data)] = data
         line.dirty = True
         return hit

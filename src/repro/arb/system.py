@@ -17,11 +17,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.arb.buffer import WORD_SIZE, AddressResolutionBuffer
+from repro.arb.buffer import WORD_SIZE, AddressResolutionBuffer, ARBEntry, ARBRow
 from repro.arb.data_cache import SharedDataCache
 from repro.common.config import ARBConfig
 from repro.common.errors import ProtocolError, ReplacementStall
-from repro.common.events import EventLog
+from repro.common.events import EventLog, ProtocolEvent
 from repro.common.stats import StatsRegistry
 from repro.mem.main_memory import MainMemory
 from repro.svc.system import AccessResult
@@ -30,6 +30,17 @@ from repro.telemetry import COMMIT, OCCUPANCY_EDGES, SQUASH, wired
 
 class ARBSystem:
     """A complete ARB + shared data cache memory system."""
+
+    #: Stats a ``ReplacementStall``-raising load/store probe bumps before
+    #: the raise (the full-buffer path counts the attempt in
+    #: ``_row_for``). The timing simulator's stall fast-forward
+    #: replicates these when it skips a deterministic retry — keep in
+    #: sync with the pre-raise accounting in :meth:`load` /
+    #: :meth:`store` / :meth:`_row_for`.
+    STALL_PROBE_COUNTERS = {
+        "load": ("loads", "arb_full_stalls"),
+        "store": ("stores", "arb_full_stalls"),
+    }
 
     def __init__(
         self,
@@ -41,6 +52,11 @@ class ARBSystem:
     ) -> None:
         self.config = config if config is not None else ARBConfig()
         self.stats = StatsRegistry()
+        #: The registry's counter dict, bound once: the per-access paths
+        #: bump counters directly instead of paying a method call.
+        self._counters = self.stats._counters
+        self._hit_cycles = self.config.hit_cycles
+        self._miss_penalty = self.config.miss_penalty_cycles
         if checker is not None and event_log is None:
             event_log = EventLog()
         self.event_log = event_log
@@ -165,7 +181,14 @@ class ARBSystem:
                         offset = end
                     drained += 1
                 row.entries.pop(rank, None)
-                self.buffer.release_if_empty(row.word_addr)
+                # Inline release_if_empty's common outcomes: an entryless
+                # row frees immediately; remaining entries always carry a
+                # mask bit (load/store set one at creation), so the full
+                # emptiness scan only runs as a fallback.
+                if not row.entries:
+                    self.buffer._rows.pop(row.word_addr, None)
+                else:
+                    self.buffer.release_if_empty(row.word_addr)
             self.buffer.drop_rank_index(rank)
             self.stats.add("commit_stores_drained", drained)
             self._task_of_unit[unit] = None
@@ -199,10 +222,18 @@ class ARBSystem:
             self._task_of_unit[unit] = None
             del self._active_ranks[unit]
             self.stats.add(f"squashes_{reason}")
-            if self.event_log is not None:
-                self.event_log.emit(
-                    "squash", source="arb", unit=unit, rank=task, reason=reason
+        # One batched extend after every victim is cleared, mirroring the
+        # SVC's squash wave: observers see the wave whole, never a
+        # half-squashed buffer.
+        if self.event_log is not None and victims:
+            self.event_log.extend(
+                ProtocolEvent(
+                    kind="squash",
+                    source="arb",
+                    detail={"unit": unit, "rank": task, "reason": reason},
                 )
+                for task, unit in victims
+            )
         if span is not None:
             telemetry.end(span, victims=[task for task, _ in victims])
         return [task for task, _ in victims]
@@ -252,65 +283,99 @@ class ARBSystem:
         offset = addr % WORD_SIZE
         if offset + size > WORD_SIZE:
             raise ProtocolError("ARB accesses must fall within one word")
-        self.stats.add("loads")
-        row, _ = self._row_for(unit, addr, rank, for_store=False)
-        value_bytes = bytearray(size)
+        counters = self._counters
+        counters["loads"] += 1
+        # Row lookup/allocation inlined for the common case (resident
+        # row, or free space); the full-buffer stall path stays in
+        # _row_for.
+        word_addr = addr - offset
+        buffer = self.buffer
+        rows = buffer._rows
+        row = rows.get(word_addr)
+        if row is None:
+            if len(rows) < buffer.n_rows:
+                row = ARBRow(word_addr=word_addr, seq=buffer._alloc_seq, owner=buffer)
+                buffer._alloc_seq += 1
+                rows[word_addr] = row
+            else:
+                row, _ = self._row_for(unit, addr, rank, for_store=False)
+        from_memory = False
         if row is None:
             # Head-task load with a full buffer: nothing older can
             # violate it, so it reads the architectural data directly.
-            missing_mask = (1 << size) - 1
+            value, hit = self.data_cache.read_value(addr, size)
+            if not hit:
+                from_memory = True
+                counters["memory_supplies"] += 1
         else:
             mask = ((1 << size) - 1) << offset
             # Record use-before-definition for the bytes this task has
             # not itself stored, then compose each byte from the closest
             # previous stage store, falling back to the data cache.
-            entry = row.entry_for(rank)
+            entries = row.entries
+            entry = entries.get(rank)
+            if entry is None:
+                entry = ARBEntry()
+                entries[rank] = entry
+                rank_rows = buffer._rank_rows.get(rank)
+                if rank_rows is None:
+                    buffer._rank_rows[rank] = rank_rows = set()
+                rank_rows.add(word_addr)
             entry.load_mask |= mask & ~entry.store_mask
 
-            # Walk candidates newest-first; the first store of each byte
-            # wins, exactly the closest-previous-stage rule. The common
-            # case — the row only holds this task's own entry — skips
-            # the rank sort entirely.
-            entries = row.entries
-            missing_mask = mask
-            if len(entries) == 1:
-                take = entry.store_mask & missing_mask
-                if take:
+            own_take = entry.store_mask & mask
+            if own_take == mask:
+                # Own entry fully covers the access: the closest
+                # previous store of every byte is this task's own.
+                value = int.from_bytes(entry.data[offset : offset + size], "little")
+            elif own_take == 0 and len(entries) == 1:
+                # No buffered bytes anywhere: the data cache supplies
+                # the whole access.
+                value, hit = self.data_cache.read_value(addr, size)
+                if not hit:
+                    from_memory = True
+                    counters["memory_supplies"] += 1
+            else:
+                # Walk candidates newest-first; the first store of each
+                # byte wins, exactly the closest-previous-stage rule.
+                value_bytes = bytearray(size)
+                missing_mask = mask
+                if len(entries) == 1:
                     data = entry.data
                     for i in range(size):
-                        if take & (1 << (offset + i)):
+                        if own_take & (1 << (offset + i)):
                             value_bytes[i] = data[offset + i]
-                    missing_mask &= ~take
-            else:
-                for r in sorted(entries, reverse=True):
-                    if r > rank:
-                        continue
-                    candidate = entries[r]
-                    take = candidate.store_mask & missing_mask
-                    if take:
-                        data = candidate.data
-                        for i in range(size):
-                            if take & (1 << (offset + i)):
-                                value_bytes[i] = data[offset + i]
-                        missing_mask &= ~take
-                        if not missing_mask:
-                            break
-            missing_mask >>= offset
-        from_memory = False
-        if missing_mask:
-            cached, hit = self.data_cache.read(addr, size)
-            for i in range(size):
-                if missing_mask & (1 << i):
-                    value_bytes[i] = cached[i]
-            if not hit:
-                from_memory = True
-                self.stats.add("memory_supplies")
+                    missing_mask &= ~own_take
+                else:
+                    for r in sorted(entries, reverse=True):
+                        if r > rank:
+                            continue
+                        candidate = entries[r]
+                        take = candidate.store_mask & missing_mask
+                        if take:
+                            data = candidate.data
+                            for i in range(size):
+                                if take & (1 << (offset + i)):
+                                    value_bytes[i] = data[offset + i]
+                            missing_mask &= ~take
+                            if not missing_mask:
+                                break
+                missing_mask >>= offset
+                if missing_mask:
+                    cached, hit = self.data_cache.read(addr, size)
+                    for i in range(size):
+                        if missing_mask & (1 << i):
+                            value_bytes[i] = cached[i]
+                    if not hit:
+                        from_memory = True
+                        counters["memory_supplies"] += 1
+                value = int.from_bytes(bytes(value_bytes), "little")
 
-        end = now + self.config.hit_cycles
+        end = now + self._hit_cycles
         if from_memory:
-            end += self.config.miss_penalty_cycles
+            end += self._miss_penalty
         return AccessResult(
-            value=int.from_bytes(bytes(value_bytes), "little"),
+            value=value,
             hit=not from_memory,
             end_cycle=end,
             from_memory=from_memory,
@@ -325,8 +390,21 @@ class ARBSystem:
         offset = addr % WORD_SIZE
         if offset + size > WORD_SIZE:
             raise ProtocolError("ARB accesses must fall within one word")
-        self.stats.add("stores")
-        row, squashed = self._row_for(unit, addr, rank, for_store=True)
+        self._counters["stores"] += 1
+        # Row lookup/allocation inlined for the common case (see load).
+        word_addr = addr - offset
+        buffer = self.buffer
+        rows = buffer._rows
+        row = rows.get(word_addr)
+        if row is not None:
+            squashed: List[int] = []
+        elif len(rows) < buffer.n_rows:
+            row = ARBRow(word_addr=word_addr, seq=buffer._alloc_seq, owner=buffer)
+            buffer._alloc_seq += 1
+            rows[word_addr] = row
+            squashed = []
+        else:
+            row, squashed = self._row_for(unit, addr, rank, for_store=True)
         mask = ((1 << size) - 1) << offset
 
         if row is None:
@@ -342,9 +420,19 @@ class ARBSystem:
                 squashed_ranks=squashed,
             )
 
-        entry = row.entry_for(rank)
-        payload = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
-        entry.data[offset : offset + size] = payload
+        entries = row.entries
+        entry = entries.get(rank)
+        if entry is None:
+            entry = ARBEntry()
+            entries[rank] = entry
+            buffer = self.buffer
+            rank_rows = buffer._rank_rows.get(rank)
+            if rank_rows is None:
+                buffer._rank_rows[rank] = rank_rows = set()
+            rank_rows.add(word_addr)
+        entry.data[offset : offset + size] = (
+            value & ((1 << (8 * size)) - 1)
+        ).to_bytes(size, "little")
         entry.store_mask |= mask
 
         # Memory-dependence check: a later task that loaded any of these
@@ -352,12 +440,12 @@ class ARBSystem:
         # Walking later tasks in ascending rank lets the store shadow
         # (bytes redefined between the storer and the task under test)
         # accumulate incrementally instead of being recomputed per task.
-        if len(row.entries) > 1:
+        if len(entries) > 1:
             remaining = mask
-            for r in sorted(row.entries):
+            for r in sorted(entries):
                 if r <= rank or not remaining:
                     continue
-                later = row.entries[r]
+                later = entries[r]
                 if later.load_mask & remaining:
                     squashed = sorted(
                         set(squashed)
@@ -366,11 +454,10 @@ class ARBSystem:
                     break
                 remaining &= ~later.store_mask
 
-        end = now + self.config.hit_cycles
         return AccessResult(
             value=None,
             hit=True,
-            end_cycle=end,
+            end_cycle=now + self._hit_cycles,
             squashed_ranks=squashed,
         )
 

@@ -9,6 +9,7 @@ Usage (any experiment from the registry)::
     python -m repro replay failure.json --shrink
     python -m repro modelcheck --pus 2 --ops 3 --lines 2
     python -m repro trace fig19 --scale 0.02 --benchmarks compress
+    python -m repro bench --gate
 
 Results print in the paper's row/series shape, with the published
 numbers alongside where the paper reports them, and can additionally be
@@ -81,7 +82,8 @@ def build_parser() -> argparse.ArgumentParser:
         + "; or 'replay <capture.json>' to re-run a failure capture; "
         "or 'modelcheck' for bounded exhaustive schedule exploration; "
         "or 'trace <experiment>' to run with telemetry and emit a "
-        "Perfetto-loadable Chrome trace",
+        "Perfetto-loadable Chrome trace; "
+        "or 'bench' to run the performance benchmark and its gates",
     )
     parser.add_argument(
         "--benchmarks",
@@ -156,6 +158,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.telemetry.trace_cli import trace_main
 
         return trace_main(raw[1:])
+    if raw and raw[0] == "bench":
+        from repro.bench_cli import bench_main
+
+        return bench_main(raw[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, runner in sorted(EXPERIMENTS.items()):

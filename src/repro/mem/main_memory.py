@@ -1,13 +1,23 @@
 """Architected storage: the next level of the memory hierarchy.
 
-Byte-granular and sparse — only written bytes are stored, unwritten bytes
+Byte-granular and sparse — only written pages are stored, unwritten bytes
 read as zero. This is the single architectural image behind both the SVC
 and the ARB, and the image the sequential oracle is compared against.
+
+Storage is chunked into fixed-size pages of ``bytearray`` so the
+line-granular helpers the caches hammer (``read_line`` on every fill,
+``write_line`` on every writeback) are single slice operations instead
+of per-byte dictionary probes. Pages are a multiple of every line size
+in use (16/32/64), so a line never straddles two pages on those paths.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Tuple
+
+_PAGE_SHIFT = 8
+_PAGE_SIZE = 1 << _PAGE_SHIFT
+_PAGE_MASK = _PAGE_SIZE - 1
 
 
 class MainMemory:
@@ -15,22 +25,62 @@ class MainMemory:
 
     def __init__(self, miss_penalty_cycles: int = 10) -> None:
         self.miss_penalty_cycles = miss_penalty_cycles
-        self._bytes: Dict[int, int] = {}
+        self._pages: Dict[int, bytearray] = {}
 
     def read_byte(self, addr: int) -> int:
-        return self._bytes.get(addr, 0)
+        page = self._pages.get(addr >> _PAGE_SHIFT)
+        return page[addr & _PAGE_MASK] if page is not None else 0
 
     def write_byte(self, addr: int, value: int) -> None:
-        self._bytes[addr] = value & 0xFF
+        pages = self._pages
+        page_no = addr >> _PAGE_SHIFT
+        page = pages.get(page_no)
+        if page is None:
+            page = pages[page_no] = bytearray(_PAGE_SIZE)
+        page[addr & _PAGE_MASK] = value & 0xFF
 
     def read_bytes(self, addr: int, size: int) -> bytes:
-        get = self._bytes.get
-        return bytes([get(i, 0) for i in range(addr, addr + size)])
+        offset = addr & _PAGE_MASK
+        if offset + size <= _PAGE_SIZE:
+            page = self._pages.get(addr >> _PAGE_SHIFT)
+            if page is None:
+                return bytes(size)
+            return bytes(page[offset : offset + size])
+        # Page-straddling read (rare: only unaligned bulk reads).
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            cur = addr + pos
+            offset = cur & _PAGE_MASK
+            take = min(size - pos, _PAGE_SIZE - offset)
+            page = self._pages.get(cur >> _PAGE_SHIFT)
+            if page is not None:
+                out[pos : pos + take] = page[offset : offset + take]
+            pos += take
+        return bytes(out)
 
     def write_bytes(self, addr: int, data: bytes) -> None:
-        store = self._bytes
-        for i, byte in enumerate(data):
-            store[addr + i] = byte
+        pages = self._pages
+        size = len(data)
+        offset = addr & _PAGE_MASK
+        if offset + size <= _PAGE_SIZE:
+            page_no = addr >> _PAGE_SHIFT
+            page = pages.get(page_no)
+            if page is None:
+                page = pages[page_no] = bytearray(_PAGE_SIZE)
+            page[offset : offset + size] = data
+            return
+        pos = 0
+        while pos < size:
+            cur = addr + pos
+            offset = cur & _PAGE_MASK
+            take = min(size - pos, _PAGE_SIZE - offset)
+            page_no = cur >> _PAGE_SHIFT
+            page = pages.get(page_no)
+            if page is None:
+                page = pages[page_no] = bytearray(_PAGE_SIZE)
+            page[offset : offset + take] = data[pos : pos + take]
+            pos += take
 
     def read_int(self, addr: int, size: int) -> int:
         """Little-endian unsigned integer at ``addr``."""
@@ -41,6 +91,12 @@ class MainMemory:
         self.write_bytes(addr, (value & mask).to_bytes(size, "little"))
 
     def read_line(self, line_addr: int, line_size: int) -> bytearray:
+        offset = line_addr & _PAGE_MASK
+        if offset + line_size <= _PAGE_SIZE:
+            page = self._pages.get(line_addr >> _PAGE_SHIFT)
+            if page is None:
+                return bytearray(line_size)
+            return bytearray(page[offset : offset + line_size])
         return bytearray(self.read_bytes(line_addr, line_size))
 
     def write_line(self, line_addr: int, data: bytes) -> None:
@@ -48,7 +104,13 @@ class MainMemory:
 
     def image(self) -> Dict[int, int]:
         """Copy of all non-zero bytes (for end-of-run comparisons)."""
-        return {addr: b for addr, b in self._bytes.items() if b != 0}
+        image: Dict[int, int] = {}
+        for page_no, page in self._pages.items():
+            base = page_no << _PAGE_SHIFT
+            for offset, byte in enumerate(page):
+                if byte:
+                    image[base + offset] = byte
+        return image
 
     def load_image(self, image: Iterable[Tuple[int, int]]) -> None:
         """Bulk-populate memory, e.g. to seed two machines identically."""

@@ -71,9 +71,12 @@ class MSHRFile:
 
     def pop_ready(self, now: int) -> List[MSHR]:
         """Remove and return every entry whose line has arrived by ``now``."""
-        ready = [e for e in self._entries.values() if e.ready_cycle <= now]
+        entries = self._entries
+        if not entries:
+            return []
+        ready = [e for e in entries.values() if e.ready_cycle <= now]
         for entry in ready:
-            del self._entries[entry.line_addr]
+            del entries[entry.line_addr]
         return ready
 
     def earliest_ready(self) -> Optional[int]:

@@ -42,6 +42,9 @@ class SetAssociativeArray(Generic[LineT]):
         else:
             self._line_shift = None
             self._set_mask = 0
+        # Direct-mapped arrays need no LRU maintenance: each set holds at
+        # most one line, so recency can never influence victim choice.
+        self._lru = geometry.associativity > 1
 
     def _set_for(self, line_addr: int) -> "OrderedDict[int, LineT]":
         if self._line_shift is not None:
@@ -50,9 +53,12 @@ class SetAssociativeArray(Generic[LineT]):
 
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[LineT]:
         """The resident payload for ``line_addr``, updating LRU by default."""
-        way_set = self._set_for(line_addr)
+        if self._line_shift is not None:
+            way_set = self._sets[(line_addr >> self._line_shift) & self._set_mask]
+        else:
+            way_set = self._sets[self.geometry.set_index(line_addr)]
         line = way_set.get(line_addr)
-        if line is not None and touch:
+        if line is not None and touch and self._lru:
             way_set.move_to_end(line_addr)
         return line
 

@@ -37,6 +37,9 @@ class SVCCache:
         self.features = features
         self.amap = geometry.address_map
         self.array: SetAssociativeArray[SVCLine] = SetAssociativeArray(geometry)
+        #: (offset << 5) | size -> partial-block RMW mask; the partial
+        #: set depends only on the access shape, not the address.
+        self._partial_memo = {}
         #: Line addresses made active (C clear) by the current task;
         #: the flash-commit / flash-squash working set.
         self.active_lines: Set[int] = set()
@@ -48,6 +51,12 @@ class SVCCache:
         #: Version directory (repro.svc.directory) notified at every
         #: residency change; None when the system runs brute-force snoops.
         self.directory = None
+        #: Persistent columnar engine (repro.svc.fastpath) whose cached
+        #: (entries, VOL) columns must be invalidated whenever this cache
+        #: changes anything VOL reconstruction depends on: residency,
+        #: the C bit, or a committed line's version order. None when the
+        #: system runs the reference object-model path.
+        self.engine = None
 
     # -- lookup helpers --------------------------------------------------------
 
@@ -68,7 +77,7 @@ class SVCCache:
         if line is None:
             return ProbeOutcome.MISS, None
         if not line.committed:
-            if line.covers(block_mask):
+            if (line.valid_mask & block_mask) == block_mask:
                 return ProbeOutcome.HIT, line
             # Partial-coverage active line: a miss that keeps the
             # resident line (the fill merges around its S blocks).
@@ -92,6 +101,8 @@ class SVCCache:
             line.load_mask = 0
             line.task_id = self.current_task
             self.active_lines.add(line_addr)
+            if self.engine is not None:
+                self.engine.invalidate(line_addr)
             return ProbeOutcome.HIT, line
         return ProbeOutcome.MISS, line
 
@@ -133,10 +144,14 @@ class SVCCache:
                     self.current_task + 1 if self.current_task is not None else 0
                 )
                 self.active_lines.add(line_addr)
+                if self.engine is not None:
+                    self.engine.invalidate(line_addr)
                 return ProbeOutcome.HIT, line
             return ProbeOutcome.MISS, line
-        if line.exclusive and line.covers(block_mask & ~full_cover):
-            return ProbeOutcome.HIT, line
+        if line.exclusive:
+            need = block_mask & ~full_cover
+            if (line.valid_mask & need) == need:
+                return ProbeOutcome.HIT, line
         return ProbeOutcome.UPGRADE, line
 
     def record_load(self, line: SVCLine, block_mask: int) -> None:
@@ -157,13 +172,19 @@ class SVCCache:
         coarse-grained versioning blocks.
         """
         offset = self.amap.line_offset(addr)
-        line.write(offset, size, value)
-        partial = 0
-        for block in self.amap.blocks_in_mask(block_mask):
+        line.data[offset : offset + size] = (
+            value & ((1 << (8 * size)) - 1)
+        ).to_bytes(size, "little")
+        memo_key = (offset << 5) | size
+        partial = self._partial_memo.get(memo_key)
+        if partial is None:
+            partial = 0
             block_bytes = self.amap.versioning_block_size
-            start = block * block_bytes
-            if offset > start or offset + size < start + block_bytes:
-                partial |= 1 << block
+            for block in self.amap.blocks_in_mask(block_mask):
+                start = block * block_bytes
+                if offset > start or offset + size < start + block_bytes:
+                    partial |= 1 << block
+            self._partial_memo[memo_key] = partial
         line.load_mask |= partial & ~line.store_mask
         line.store_mask |= block_mask
         line.valid_mask |= block_mask
@@ -206,6 +227,8 @@ class SVCCache:
             self.active_lines.add(line_addr)
         if self.directory is not None:
             self.directory.on_install(self.cache_id, line_addr, line)
+        if self.engine is not None:
+            self.engine.invalidate(line_addr)
 
     def drop(self, line_addr: int) -> SVCLine:
         """Remove a line (invalidation, purge or cast-out)."""
@@ -213,6 +236,8 @@ class SVCCache:
         line = self.array.remove(line_addr)
         if self.directory is not None:
             self.directory.on_drop(self.cache_id, line_addr)
+        if self.engine is not None:
+            self.engine.invalidate(line_addr)
         return line
 
     # -- task lifecycle -----------------------------------------------------------
@@ -232,6 +257,8 @@ class SVCCache:
         """EC-design commit: set the C bit on the task's lines, locally
         and in one step (section 3.4). Returns the affected addresses."""
         committed = []
+        if self.engine is not None and self.active_lines:
+            self.engine.invalidate_many(self.active_lines)
         for line_addr in self.active_lines:
             line = self.array.lookup(line_addr, touch=False)
             if line is None:
@@ -254,10 +281,12 @@ class SVCCache:
 
     def flash_invalidate_all(self) -> None:
         """Base-design commit/squash epilogue: drop every line."""
-        if self.directory is not None:
-            self.directory.on_clear(
-                self.cache_id, [addr for addr, _ in self.array.lines()]
-            )
+        if self.directory is not None or self.engine is not None:
+            addrs = [addr for addr, _ in self.array.lines()]
+            if self.directory is not None:
+                self.directory.on_clear(self.cache_id, addrs)
+            if self.engine is not None:
+                self.engine.invalidate_many(addrs)
         self.array.clear()
         self.active_lines.clear()
 
@@ -271,6 +300,8 @@ class SVCCache:
         the VCL repairs them on the next bus request).
         """
         dropped = []
+        if self.engine is not None and self.active_lines:
+            self.engine.invalidate_many(self.active_lines)
         for line_addr in sorted(self.active_lines):
             line = self.array.lookup(line_addr, touch=False)
             if line is None:

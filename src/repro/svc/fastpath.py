@@ -1,64 +1,82 @@
-"""Structure-of-arrays fast path for the hot VCL protocol loop.
+"""Persistent columnar protocol engine for the hot VCL bus path.
 
-:class:`FastpathKernel` reimplements the three dominant pieces of the
-bus-side hot path — snarf candidate evaluation, post-transaction VOL
-repair, and the exclusivity (X-bit) residency checks — against
-flat, transaction-scoped columns instead of repeated per-line object
-walks and dict copies:
+:class:`FastpathKernel` is the structure-of-arrays fast path behind
+``SVCConfig.use_fastpath``. PR 7 introduced it as a *transaction-scoped*
+accelerator: flat columns (bitmasks, content stamps, VOL order) were
+rebuilt from the :class:`~repro.svc.line.SVCLine` objects on every bus
+transaction. This version promotes it to a **persistent columnar
+engine**: the expensive derived state — the per-line holder snapshot in
+canonical (ascending cache id) order and the reconstructed Version
+Ordering List — now lives across bus transactions in
+:attr:`_snaps` and is *incrementally invalidated* at exactly the points
+where the object model changes anything the columns depend on:
 
-* **Supply plans without data movement.** A snarf candidate is accepted
-  or rejected from the per-block *content stamps* of its would-be fill
-  (one flat stamp column per insertion position, memoized across
-  candidates) instead of composing the full byte buffer per candidate
-  and comparing it against the bus data.
-* **Fused VOL repair.** Pointer rewrite, tail-stamp computation and
-  T-bit refresh run in one backward pass over the VOL using bitmask
-  columns (``store_mask & valid_mask``) rather than one
-  ``closest_previous_writer`` scan per block plus one ``is_fresh`` scan
-  per line.
-* **Copy-free residency checks.** Sole-holder and all-others-invalid
-  questions read the version directory's holder map in place instead of
-  materializing a fresh snapshot dict per question.
-* **Live rank columns.** The VCL reads the system's incrementally
-  maintained ``cache_id -> rank`` map directly instead of copying it on
-  every snoop (the map is only ever read during a transaction).
+* install / drop (residency changes),
+* flash commit, flash squash and flash invalidate (C-bit waves and
+  rank retirement),
+* the local reactivation paths in ``probe_load`` / ``probe_store``
+  (a passive line silently turning active).
+
+:class:`repro.svc.cache.SVCCache` calls :meth:`invalidate` /
+:meth:`invalidate_many` from those points, mirroring how the version
+directory is maintained. Everything *else* the protocol does to a line —
+L/S/valid mask updates, byte writes, content stamps, X/T/A bits, pointer
+repair — leaves VOL membership and order untouched, so the snapshot
+stays valid and the next transaction on the line pays **zero** snoops
+and zero ``build_vol`` calls. The ``SVCLine`` objects remain the source
+of truth for per-line *bits* (the snapshot holds references, not
+copies), which is what makes the narrow invalidation set sufficient:
+only membership, the C bit, committed ``version_seq`` order and the
+rank map can reorder a VOL, and each of those has exactly one mutation
+point, all hooked.
+
+On top of the persistent columns the kernel keeps PR 7's fused
+kernels — stamp-compare snarfing, one-pass VOL repair, copy-free
+residency checks — now all fed from :meth:`acquire` so a whole bus
+transaction (snoop, committed purge, snarf and final repair) resolves
+against at most one column rebuild instead of three to four.
 
 Invariants
 ----------
 
 1. **Observable equivalence.** With ``SVCConfig.use_fastpath`` off, the
-   VCL runs the original per-line object model (the slow reference
-   implementation); with it on, every event stream, statistics
+   VCL runs the original per-line object model (the executable
+   reference specification); with it on, every event stream, statistics
    snapshot, committed load value and final memory image must be
-   byte-identical. This is enforced the same way the PR-2 version
-   directory is: :mod:`repro.harness.differential` (fastpath dimension)
-   replays seeded workloads both ways across all six design tiers with
-   fault plans attached, and the conformance corpus pins the event
-   streams the default (fastpath-on) configuration emits.
-2. **Stamps name exact data states.** The stamp-compare snarf accept is
+   byte-identical. Enforced by :mod:`repro.harness.differential`
+   (fastpath dimension) across all six design tiers with fault plans,
+   and by the conformance corpus pinning default-configuration event
+   streams.
+2. **Snapshot freshness.** A cached ``(entries, vol)`` snapshot is
+   bit-equal to what a fresh directory snoop plus ``build_vol`` would
+   produce, at every moment it is served. :meth:`audit` re-derives
+   every cached snapshot from the materialized ``SVCLine`` state and
+   raises on the first divergence; :meth:`repro.svc.system.SVCSystem.
+   verify` runs it (so ``--verify`` harness runs cross-check the
+   columns the same way they cross-check the directory and rank maps).
+3. **Stamps name exact data states.** The stamp-compare snarf accept is
    sound because a content stamp is allocated globally (one per store,
    :meth:`repro.svc.system.SVCSystem.next_content_seq`) and written
    back alongside the bytes it stamps — equal stamps at the same
-   (line, block) imply equal bytes. The T-bit staleness machinery and
-   clean-supply matching (:func:`repro.svc.vol.clean_supplier`) already
-   rely on exactly this invariant; when a candidate's stamps do *not*
+   (line, block) imply equal bytes. When a candidate's stamps do *not*
    match, the kernel falls back to the reference byte composition and
    comparison, so stamp mismatches can only cost time, never
-   correctness.
-3. **No new state across transactions.** The kernel holds no mutable
-   protocol state: columns and plans live only for one bus transaction,
-   and the :class:`~repro.svc.line.SVCLine` objects remain the single
-   source of truth. There is nothing to desynchronize between requests.
+   correctness (tests/svc/test_fastpath.py pins the fallback).
+4. **Canonical snapshot order.** Cached snapshots are always built in
+   ascending cache-id order (the brute-force scan's order), and a
+   snapshot mutated by the snarf install loop is never re-cached —
+   order-sensitive helpers (``clean_supplier``) must see exactly the
+   iteration order the reference path sees.
 
-docs/PERFORMANCE.md explains the measured effect and the bench gate
-(per-tier events/sec floors); docs/ARCHITECTURE.md places the kernel in
-the subsystem map.
+docs/PERFORMANCE.md documents the column lifecycle and the measured
+effect; docs/ARCHITECTURE.md places the engine in the subsystem map.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.common.errors import ProtocolError
 from repro.svc.line import SVCLine
 from repro.svc.vol import (
     build_vol,
@@ -76,9 +94,18 @@ CLEAN = "clean"
 
 
 class FastpathKernel:
-    """Transaction-scoped SoA kernels behind ``SVCConfig.use_fastpath``."""
+    """Persistent SoA columns + fused kernels behind ``use_fastpath``."""
 
-    __slots__ = ("vcl", "system", "_full_mask", "_n_blocks")
+    __slots__ = (
+        "vcl",
+        "system",
+        "_full_mask",
+        "_n_blocks",
+        "_blocks_in_mask",
+        "_snaps",
+        "snap_hits",
+        "snap_builds",
+    )
 
     def __init__(self, vcl) -> None:
         self.vcl = vcl
@@ -86,6 +113,106 @@ class FastpathKernel:
         amap = self.system.amap
         self._full_mask = amap.full_mask
         self._n_blocks = amap.blocks_per_line
+        self._blocks_in_mask = amap.blocks_in_mask
+        #: Persistent columns: line_addr -> (entries, vol). ``entries``
+        #: is the canonical ascending-cache-id holder snapshot, ``vol``
+        #: the reconstructed ordering. Only *valid* snapshots are kept;
+        #: the maintenance hooks below pop on any order-relevant change.
+        self._snaps: Dict[int, Tuple[Dict[int, SVCLine], List[int]]] = {}
+        #: Cheap effectiveness counters (read by the bench tooling and
+        #: the audit tests; never consulted by protocol logic).
+        self.snap_hits = 0
+        self.snap_builds = 0
+        # Register for incremental maintenance, exactly like the
+        # version directory: caches notify on every residency or
+        # activation change.
+        for cache in self.system.caches:
+            cache.engine = self
+
+    # -- persistent column maintenance ---------------------------------------
+
+    def invalidate(self, line_addr: int) -> None:
+        """Drop the cached columns of one line (membership / C-bit /
+        rank-relevant change)."""
+        self._snaps.pop(line_addr, None)
+
+    def invalidate_many(self, line_addrs) -> None:
+        """Drop cached columns for many lines (flash commit/squash)."""
+        pop = self._snaps.pop
+        for line_addr in line_addrs:
+            pop(line_addr, None)
+
+    def acquire(self, line_addr: int) -> Tuple[Dict[int, SVCLine], List[int]]:
+        """The ``(entries, vol)`` columns for one line.
+
+        Serves the persistent snapshot when the incremental-maintenance
+        hooks have not invalidated it; otherwise rebuilds it once — in
+        canonical ascending cache-id order — and re-caches it. The
+        returned dict is shared protocol-wide: readers must not mutate
+        it except through the install hooks (the snarf loop mutates its
+        *local* reference only after an install has already popped the
+        snapshot, so a cached dict is never a mutated one).
+        """
+        snap = self._snaps.get(line_addr)
+        if snap is not None:
+            self.snap_hits += 1
+            return snap
+        system = self.system
+        directory = system.directory
+        if directory is not None:
+            entries = directory.entries(line_addr)
+        else:
+            entries = {}
+            for cache in system.caches:
+                line = cache.line_for(line_addr)
+                if line is not None:
+                    entries[cache.cache_id] = line
+        vol = build_vol(entries, system._active_ranks)
+        snap = (entries, vol)
+        self._snaps[line_addr] = snap
+        self.snap_builds += 1
+        return snap
+
+    def audit(self) -> None:
+        """Cross-check every cached column set against the materialized
+        ``SVCLine`` state (the new ``--verify`` invariant).
+
+        Re-derives each snapshot the slow way — a fresh holder scan and
+        a fresh ``build_vol`` — and requires the cached version to hold
+        the *same line objects* under the same cache ids in the same
+        canonical order, with the identical VOL. A stale snapshot would
+        let a snoop resolve against yesterday's ordering, so any
+        divergence is a protocol violation, not a cache miss.
+        """
+        system = self.system
+        ranks = system._active_ranks
+        for line_addr, (entries, vol) in self._snaps.items():
+            actual: Dict[int, SVCLine] = {}
+            for cache in system.caches:
+                line = cache.line_for(line_addr)
+                if line is not None:
+                    actual[cache.cache_id] = line
+            if list(entries) != sorted(actual):
+                raise ProtocolError(
+                    f"fastpath column desync for {line_addr:#x}: cached "
+                    f"holders {sorted(entries)} vs arrays {sorted(actual)}"
+                )
+            for cache_id, line in actual.items():
+                if entries[cache_id] is not line:
+                    raise ProtocolError(
+                        f"fastpath column for {line_addr:#x} cache "
+                        f"{cache_id} tracks a different line object than "
+                        "the array holds"
+                    )
+            if build_vol(actual, ranks) != vol:
+                raise ProtocolError(
+                    f"fastpath VOL column for {line_addr:#x} is {vol} but "
+                    f"a fresh reconstruction orders {build_vol(actual, ranks)}"
+                )
+
+    def clear(self) -> None:
+        """Drop every cached column (end-of-run teardown)."""
+        self._snaps.clear()
 
     # -- rank columns --------------------------------------------------------
 
@@ -160,7 +287,7 @@ class FastpathKernel:
         visited in the same order and the same copies are installed with
         the same bits. Only the *mechanism* differs — a candidate whose
         supply-plan stamps equal the bus line's stamps is accepted
-        without composing a byte buffer (invariant 2 in the module
+        without composing a byte buffer (invariant 3 in the module
         docstring), and plans are memoized per insertion position until
         an install changes the VOL.
         """
@@ -168,8 +295,7 @@ class FastpathKernel:
         vcl = self.vcl
         telemetry = system.telemetry
         snarfed: List[int] = []
-        entries = vcl._entries(line_addr)
-        vol = build_vol(entries, ranks)
+        entries, vol = self.acquire(line_addr)
         plans: Dict[int, Tuple[Dict[int, Tuple[str, Optional[int]]], List[int]]] = {}
         for cache in system.caches:
             cid = cache.cache_id
@@ -209,6 +335,10 @@ class FastpathKernel:
             )
             copy.ensure_block_stamps(self._n_blocks)
             copy.block_content[:] = stamps
+            # install pops the cached snapshot first; the local dict is
+            # then mutated to match, exactly like the reference loop,
+            # and is deliberately NOT re-cached (invariant 4: its
+            # iteration order is insertion order, not canonical).
             cache.install(line_addr, copy)
             entries[cid] = copy
             vol = build_vol(entries, ranks)
@@ -226,19 +356,49 @@ class FastpathKernel:
         pointers mirror the rebuilt VOL, tail stamps are the newest
         ``store_mask & valid_mask`` writer of each block (else the
         memory stamp), and a line is stale iff any valid block's stamp
-        differs from the tail stamp.
+        differs from the tail stamp. Runs against :meth:`acquire`, so a
+        transaction that changed nothing order-relevant repairs against
+        the persistent columns with no rebuild at all — and leaves the
+        rebuilt snapshot cached for the next transaction on the line.
         """
         vcl = self.vcl
         system = self.system
-        entries = vcl._entries(line_addr)
+        entries, vol = self.acquire(line_addr)
         ranks = system._active_ranks
-        vol = build_vol(entries, ranks)
 
         # Late-bound through the vcl module namespace: the pointer
         # rewrite is a deliberate seam (the checker's seeded-bug drill
         # patches ``repro.svc.vcl.rewrite_pointers``), and both paths
         # must break identically when it is broken.
         import repro.svc.vcl as vcl_module
+
+        if len(vol) == 1:
+            # Sole-holder fast path: the pointer is trivially None and
+            # the tail stamps collapse to "own written blocks over the
+            # memory image", so staleness reduces to any valid,
+            # unwritten block diverging from the memory stamp.
+            only = entries[vol[0]]
+            vcl_module.rewrite_pointers(entries, vol)
+            if system.features.stale_bit:
+                memory_stamps = vcl.memory_stamps_for(line_addr)
+                content = only.block_content
+                stale = False
+                for block in self._blocks_in_mask(
+                    only.valid_mask & ~only.store_mask
+                ):
+                    if content[block] != memory_stamps[block]:
+                        stale = True
+                        break
+                only.stale = stale
+            if system.config.check_invariants:
+                check_invariants(
+                    entries,
+                    vol,
+                    ranks,
+                    vcl.memory_stamps_for(line_addr),
+                    check_stale=system.features.stale_bit,
+                )
+            return
 
         vcl_module.rewrite_pointers(entries, vol)
 

@@ -97,7 +97,7 @@ class SVCLine:
 
     def read(self, offset: int, size: int) -> int:
         """Little-endian value of ``size`` bytes at ``offset``."""
-        return int.from_bytes(bytes(self.data[offset : offset + size]), "little")
+        return int.from_bytes(self.data[offset : offset + size], "little")
 
     def write(self, offset: int, size: int, value: int) -> None:
         mask = (1 << (8 * size)) - 1

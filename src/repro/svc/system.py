@@ -23,7 +23,7 @@ from repro.bus.requests import BusRequestKind
 from repro.bus.snooping_bus import SnoopingBus
 from repro.common.config import SVCConfig
 from repro.common.errors import ProtocolError
-from repro.common.events import EventLog
+from repro.common.events import EventLog, ProtocolEvent
 from repro.common.stats import StatsRegistry
 from repro.mem.main_memory import MainMemory
 from repro.svc.cache import ProbeOutcome, SVCCache
@@ -33,7 +33,7 @@ from repro.svc.vcl import VersionControlLogic
 from repro.telemetry import COMMIT, SQUASH, TASK_BEGIN, WB_DRAIN, wired
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one PU load or store."""
 
@@ -47,6 +47,16 @@ class AccessResult:
 
 class SVCSystem:
     """A complete SVC memory system (Figure 5)."""
+
+    #: Stats a ``ReplacementStall``-raising load/store probe bumps before
+    #: the raise. The timing simulator's stall fast-forward replicates
+    #: these when it skips a retry whose outcome cannot have changed
+    #: (same commit/squash token, same ``bus.free_at``) — keep in sync
+    #: with the pre-raise accounting in :meth:`load` / :meth:`store`.
+    STALL_PROBE_COUNTERS = {
+        "load": ("loads", "load_misses"),
+        "store": ("stores", "store_misses"),
+    }
 
     def __init__(
         self,
@@ -101,6 +111,14 @@ class SVCSystem:
         #: scans (the InvariantChecker) must skip those torn snapshots —
         #: the transaction's closing bus event audits the final state.
         self._in_transaction = False
+        #: Hot-path accelerators: the registry's counter dict bound once,
+        #: the address map's offset mask, and per-(offset, size) memos of
+        #: the two mask computations every access repeats.
+        self._counters = self.stats._counters
+        self._offset_mask = self.amap._offset_mask
+        self._hit_cycles = self.config.hit_cycles
+        self._block_mask_memo: Dict[int, int] = {}
+        self._full_cover_memo: Dict[int, int] = {}
         self.checker = checker
         if checker is not None:
             checker.bind(self)
@@ -244,11 +262,16 @@ class SVCSystem:
                 self.stats.add(f"squashes_{reason}")
             # Emit after *all* victims are flashed: observers (the invariant
             # checker) must not see the half-squashed intermediate states.
-            if self.event_log is not None:
-                for task, cache_id in victims:
-                    self.event_log.emit(
-                        "squash", source="svc", cache=cache_id, rank=task, reason=reason
+            # The whole wave lands as one batched extend.
+            if self.event_log is not None and victims:
+                self.event_log.extend(
+                    ProtocolEvent(
+                        kind="squash",
+                        source="svc",
+                        detail={"cache": cache_id, "rank": task, "reason": reason},
                     )
+                    for task, cache_id in victims
+                )
         finally:
             if span is not None:
                 telemetry.end(span, victims=[task for task, _ in victims])
@@ -261,21 +284,27 @@ class SVCSystem:
         cache = self.caches[cache_id]
         if cache.current_task is None:
             raise ProtocolError(f"cache {cache_id} has no current task")
-        line_addr = self.amap.line_address(addr)
-        block_mask = self.amap.block_mask(addr, size)
-        offset = self.amap.line_offset(addr)
-        self.stats.add("loads")
+        offset = addr & self._offset_mask
+        line_addr = addr - offset
+        memo_key = (offset << 5) | size
+        block_mask = self._block_mask_memo.get(memo_key)
+        if block_mask is None:
+            block_mask = self.amap.block_mask(addr, size)
+            self._block_mask_memo[memo_key] = block_mask
+        counters = self._counters
+        counters["loads"] += 1
 
         outcome, line = cache.probe_load(line_addr, block_mask)
         if outcome == ProbeOutcome.HIT:
-            cache.record_load(line, block_mask)
-            cache.line_for(line_addr, touch=True)
+            # record_load inlined; probe_load's array lookup already
+            # freshened the LRU position, so no second lookup is needed.
+            line.load_mask |= block_mask & ~line.store_mask
             return AccessResult(
                 value=line.read(offset, size),
                 hit=True,
-                end_cycle=now + self.config.hit_cycles,
+                end_cycle=now + self._hit_cycles,
             )
-        self.stats.add("load_misses")
+        counters["load_misses"] += 1
         self._in_transaction = True
         try:
             line, bus_outcome = self.vcl.bus_read(cache_id, line_addr, now)
@@ -299,11 +328,20 @@ class SVCSystem:
         cache = self.caches[cache_id]
         if cache.current_task is None:
             raise ProtocolError(f"cache {cache_id} has no current task")
-        line_addr = self.amap.line_address(addr)
-        block_mask = self.amap.block_mask(addr, size)
-        self.stats.add("stores")
+        offset = addr & self._offset_mask
+        line_addr = addr - offset
+        memo_key = (offset << 5) | size
+        block_mask = self._block_mask_memo.get(memo_key)
+        if block_mask is None:
+            block_mask = self.amap.block_mask(addr, size)
+            self._block_mask_memo[memo_key] = block_mask
+        counters = self._counters
+        counters["stores"] += 1
 
-        full_cover = self.amap.full_cover_mask(addr, size)
+        full_cover = self._full_cover_memo.get(memo_key)
+        if full_cover is None:
+            full_cover = self.amap.full_cover_mask(addr, size)
+            self._full_cover_memo[memo_key] = full_cover
         outcome, line = cache.probe_store(line_addr, block_mask, full_cover)
         if outcome == ProbeOutcome.HIT:
             cache.apply_store(line, addr, size, value, block_mask)
@@ -312,11 +350,12 @@ class SVCSystem:
             stamp = self.next_content_seq()
             for block in self.amap.blocks_in_mask(block_mask):
                 line.block_content[block] = stamp
-            cache.line_for(line_addr, touch=True)
+            # probe_store's array lookup already freshened the LRU
+            # position; no second lookup is needed.
             return AccessResult(
-                value=None, hit=True, end_cycle=now + self.config.hit_cycles
+                value=None, hit=True, end_cycle=now + self._hit_cycles
             )
-        self.stats.add("store_misses")
+        counters["store_misses"] += 1
         self._in_transaction = True
         try:
             line, bus_outcome = self.vcl.bus_write(
@@ -398,6 +437,10 @@ class SVCSystem:
         self._audit_task_maps()
         if self.directory is not None:
             self.directory.audit(self.caches)
+        if self.vcl._fast is not None:
+            # Persistent columnar engine: every cached (entries, VOL)
+            # snapshot must match a fresh reconstruction from the arrays.
+            self.vcl._fast.audit()
         # Address collection stays brute-force on purpose: a line smuggled
         # into an array behind the directory's back must still be audited.
         addresses = set()

@@ -51,7 +51,7 @@ CACHE = "cache"  # a version supplied speculative data
 CLEAN = "clean"  # another cache supplied an architectural copy
 
 
-@dataclass
+@dataclass(slots=True)
 class BusOutcome:
     """What one bus request did, for stats, timing and the driver."""
 
@@ -166,18 +166,32 @@ class VersionControlLogic:
         histograms. ``telemetry=None`` skips the span; the batched
         histogram counts accumulate whenever the handles were wired
         (metrics are exact even when spans are being sampled)."""
+        fast = self._fast
         if telemetry is None:
-            entries = self._entries(line_addr)
-            ranks = self._ranks()
-            vol = build_vol(entries, ranks)
+            if fast is not None:
+                # Persistent columns: the snapshot survives across bus
+                # transactions and is rebuilt only after an
+                # incremental-maintenance invalidation (see
+                # repro.svc.fastpath). The shared dict is read-only to
+                # every caller on this path.
+                entries, vol = fast.acquire(line_addr)
+                ranks = self.system._active_ranks
+            else:
+                entries = self._entries(line_addr)
+                ranks = self._ranks()
+                vol = build_vol(entries, ranks)
             if self._fanout_batch is not None:
                 self._fanout_batch[len(entries)] += 1
                 self._vol_batch[len(vol)] += 1
             return entries, ranks, vol
         span = telemetry.begin(SNOOP, f"snoop {line_addr:#x}", line_addr=line_addr)
-        entries = self._entries(line_addr)
-        ranks = self._ranks()
-        vol = build_vol(entries, ranks)
+        if fast is not None:
+            entries, vol = fast.acquire(line_addr)
+            ranks = self.system._active_ranks
+        else:
+            entries = self._entries(line_addr)
+            ranks = self._ranks()
+            vol = build_vol(entries, ranks)
         if self._fanout_batch is not None:
             self._fanout_batch[len(entries)] += 1
             self._vol_batch[len(vol)] += 1
@@ -281,9 +295,11 @@ class VersionControlLogic:
         marked written-back, so it can keep supplying loads cheaply.
         Returns the number of versions flushed to memory.
         """
-        entries = self._entries(line_addr)
-        ranks = self._ranks()
-        vol = build_vol(entries, ranks)
+        if self._fast is not None:
+            entries, vol = self._fast.acquire(line_addr)
+        else:
+            entries = self._entries(line_addr)
+            vol = build_vol(entries, self._ranks())
         versions = [
             cid for cid in vol if entries[cid].committed and entries[cid].dirty
         ]

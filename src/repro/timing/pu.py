@@ -24,7 +24,7 @@ from repro.hier.task import MemOp, OpKind, TaskProgram
 from repro.mem.mshr import MSHRFile
 
 
-@dataclass
+@dataclass(slots=True)
 class PUTaskTiming:
     """Scheduling state for one task execution attempt on one PU."""
 

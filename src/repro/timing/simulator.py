@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import ProcessorConfig
 from repro.common.errors import ReplacementStall, SimulationError
@@ -139,6 +139,9 @@ class TimingSimulator:
         self._executed_memory_ops = 0
         self._commit_cycles = 0
         self._last_commit_end = 0
+        #: Bound once: line-address math runs once per miss, and amap may
+        #: be a property on the system.
+        self._line_address = system.amap.line_address
         per_unit = getattr(system, "mshrs_per_unit", 8)
         combining = getattr(system, "mshr_combining", 4)
         self._mshrs = {
@@ -148,6 +151,27 @@ class TimingSimulator:
         self._stall_streak: Dict[int, int] = {
             pu: 0 for pu in range(self.processor.n_pus)
         }
+        #: Stall fast-forward state (plain loop only). A stalled PU polls
+        #: every ``_STALL_RETRY`` cycles, but its probe outcome can only
+        #: change after something frees capacity: a commit or squash
+        #: (counted by ``_progress_token``) or another PU's bus
+        #: transaction (which advances ``SnoopingBus.free_at``). While
+        #: both watermarks are unchanged since the last *real* failed
+        #: probe, retries are skipped without re-entering the protocol —
+        #: the retry accounting (retry count, streak, watchdog, and the
+        #: stat the probe itself would bump) is replicated exactly, so
+        #: reports, stats and event streams are byte-identical.
+        self._bus = getattr(system, "bus", None)
+        self._progress_token = 0
+        self._stall_probe: Dict[int, Tuple[int, int]] = {}
+        self._stall_exc: Dict[int, ReplacementStall] = {}
+        #: Stat keys a deterministically-failing retry probe bumps
+        #: before raising (``{"load": (...), "store": (...)}`` — the SVC
+        #: counts the attempt as a load/store miss, the ARB as a
+        #: load/store plus ``arb_full_stalls``); the skip path mirrors
+        #: them so accounting stays exact. Systems that do not declare
+        #: the contract never fast-forward — every retry re-probes.
+        self._stall_probe_stats = getattr(system, "STALL_PROBE_COUNTERS", None)
         #: Telemetry, resolved once at wiring time from the system (the
         #: system already applied :func:`repro.telemetry.wired`), so the
         #: memory-event hot path pays a single ``is not None`` check.
@@ -196,6 +220,22 @@ class TimingSimulator:
         self._seq += 1
         heapq.heappush(self._events, (time, self._seq, kind, pu, epoch))
 
+    def _schedule_fast(self, pu: int, time: int, state) -> None:
+        """``_schedule`` with the state already in hand (hot path)."""
+        pending = state.schedule_to_next_mem()
+        if pending is None:
+            done = state.done_time()
+            if done < time:
+                done = time
+            self._seq += 1
+            heapq.heappush(self._events, (done, self._seq, "done", pu, state.epoch))
+        else:
+            issue, _op = pending
+            if issue < time:
+                issue = time
+            self._seq += 1
+            heapq.heappush(self._events, (issue, self._seq, "mem", pu, state.epoch))
+
     def _dispatch(self, pu: int, time: int) -> None:
         if self._next_dispatch >= len(self.tasks):
             return
@@ -231,20 +271,14 @@ class TimingSimulator:
             self.system.telemetry = prev
 
     def _schedule(self, pu: int, time: int) -> None:
-        state = self._states[pu]
-        pending = state.schedule_to_next_mem()
-        if pending is None:
-            done = state.done_time()
-            self._push(max(done, time), "done", pu, state.epoch)
-        else:
-            issue, _op = pending
-            self._push(max(issue, time), "mem", pu, state.epoch)
+        self._schedule_fast(pu, time, self._states[pu])
 
     # -- squash handling -----------------------------------------------------------
 
     def _restart_squashed(self, squashed_ranks: List[int], now: int) -> None:
         """Re-dispatch squashed (but still assigned) tasks on their PUs."""
         restart = now + self.processor.timing.squash_restart_cycles
+        self._progress_token += 1  # squashes free capacity: re-probe stalls
         for rank in sorted(squashed_ranks):
             pu = self._rank_to_pu[rank]
             state = self._states[pu]
@@ -280,12 +314,13 @@ class TimingSimulator:
         state = self._states[pu]
         op = state.program.ops[state.op_index]
         mshrs = self._mshrs[pu]
-        mshrs.pop_ready(now)
-        if mshrs.is_full():
-            retry = max(mshrs.earliest_ready() or now, now + 1)
-            state.defer_mem(retry)
-            self._schedule(pu, retry)
-            return
+        if mshrs._entries:
+            mshrs.pop_ready(now)
+            if len(mshrs._entries) >= mshrs.n_entries:
+                retry = max(mshrs.earliest_ready() or now, now + 1)
+                state.defer_mem(retry)
+                self._schedule_fast(pu, retry, state)
+                return
         if self._fault_injector is not None:
             plan = self._fault_injector.plan
             if plan.mshr_saturation and self._mshr_rng.random() < plan.mshr_saturation:
@@ -363,21 +398,22 @@ class TimingSimulator:
                 if self._stall_streak[pu] > _WATCHDOG_STALL_STREAK:
                     raise SimulationError(self._stall_report(pu, stall, now))
                 state.defer_mem(now + _STALL_RETRY)
-                self._schedule(pu, now + _STALL_RETRY)
+                self._schedule_fast(pu, now + _STALL_RETRY, state)
                 return
             if span is not None:
                 telemetry.end(span, hit=result.hit, end_cycle=end)
-            self._stall_streak[pu] = 0
+            if self._stall_streak[pu]:
+                self._stall_streak[pu] = 0
             self._executed_memory_ops += 1
             if not result.hit:
                 line_addr = self.system.amap.line_address(op.addr)
                 mshrs.allocate(line_addr, state.op_index, result.end_cycle)
             state.complete_mem(now, end)
-            squashed = list(result.squashed_ranks)
+            squashed = result.squashed_ranks
             if squashed:
                 self._violations += 1
                 self._restart_squashed(squashed, now)
-            self._schedule(pu, now)
+            self._schedule_fast(pu, now, state)
         finally:
             if rewired:
                 self.system.telemetry = prev
@@ -417,6 +453,7 @@ class TimingSimulator:
             end = self.system.commit_head(pu, now=commit_start)
             self._commit_cycles += max(0, end - commit_start)
             self._committed[head] = True
+            self._progress_token += 1  # commits free capacity: re-probe stalls
             self._last_commit_end = max(self._last_commit_end, end)
             self._states[pu] = None
             del self._rank_to_pu[head]
@@ -437,6 +474,150 @@ class TimingSimulator:
                     self._restart_squashed(squashed, end)
             self._dispatch(pu, end)
             now = end
+
+    def _run_loop_plain(self, limit: int) -> None:
+        """The event loop fused with :meth:`_handle_mem_plain` for the
+        common configuration (no telemetry, no fault injector): event
+        dispatch, the memory handler, and rescheduling run as one code
+        path with the hot state in locals. Behaviour is identical to
+        the generic loop in :meth:`_run_impl`; the shared event
+        sequence counter stays on ``self`` so pushes from the cold
+        paths (dispatch, squash restart, commit waves) interleave in
+        exactly the same FIFO order."""
+        events = self._events
+        states = self._states
+        mshr_files = self._mshrs
+        stall_streak = self._stall_streak
+        stall_probe = self._stall_probe
+        done_at = self._done_at
+        bus = self._bus
+        stats_add = self.system.stats.add
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        sys_load = self.system.load
+        sys_store = self.system.store
+        line_address = self._line_address
+        LOAD = OpKind.LOAD
+        executed = 0
+        guard = 0
+        try:
+            while events:
+                guard += 1
+                if guard > limit:
+                    raise SimulationError(
+                        "timing simulation exceeded event budget"
+                    )
+                now, _seq, kind, pu, epoch = heappop(events)
+                state = states[pu]
+                if state is None or state.epoch != epoch:
+                    continue  # stale event from a squashed attempt
+                if kind == "mem":
+                    op = state.program.ops[state.op_index]
+                    mshrs = mshr_files[pu]
+                    if mshrs._entries:
+                        mshrs.pop_ready(now)
+                        if len(mshrs._entries) >= mshrs.n_entries:
+                            retry = max(mshrs.earliest_ready() or now, now + 1)
+                            state.defer_mem(retry)
+                            self._schedule_fast(pu, retry, state)
+                            continue
+                    if stall_streak[pu]:
+                        # Stall fast-forward: while no commit, squash, or
+                        # bus transaction has happened since the last real
+                        # failed probe, the probe would deterministically
+                        # raise again — skip it and replicate its exact
+                        # accounting instead.
+                        probe = stall_probe.get(pu)
+                        if probe is not None and probe == (
+                            self._progress_token,
+                            bus.free_at if bus is not None else 0,
+                        ):
+                            self._stall_retries += 1
+                            streak = stall_streak[pu] + 1
+                            stall_streak[pu] = streak
+                            if streak > _WATCHDOG_STALL_STREAK:
+                                raise SimulationError(
+                                    self._stall_report(
+                                        pu, self._stall_exc[pu], now
+                                    )
+                                )
+                            for key in self._stall_probe_stats[
+                                "load" if op.kind == LOAD else "store"
+                            ]:
+                                stats_add(key)
+                            state.defer_mem(now + _STALL_RETRY)
+                            self._schedule_fast(
+                                pu, now + _STALL_RETRY, state
+                            )
+                            continue
+                    try:
+                        if op.kind == LOAD:
+                            result = sys_load(pu, op.addr, op.size, now=now)
+                            end = result.end_cycle
+                        else:
+                            result = sys_store(
+                                pu, op.addr, op.value, op.size, now=now
+                            )
+                            end = now + 1
+                    except ReplacementStall as stall:
+                        self._stall_retries += 1
+                        stall_streak[pu] += 1
+                        if stall_streak[pu] > _WATCHDOG_STALL_STREAK:
+                            raise SimulationError(
+                                self._stall_report(pu, stall, now)
+                            )
+                        # Record the capacity watermark this probe failed
+                        # under; retries under the same watermark are
+                        # fast-forwarded without re-probing (only when the
+                        # system declares its probe accounting contract).
+                        if self._stall_probe_stats is not None:
+                            stall_probe[pu] = (
+                                self._progress_token,
+                                bus.free_at if bus is not None else 0,
+                            )
+                            self._stall_exc[pu] = stall
+                        state.defer_mem(now + _STALL_RETRY)
+                        self._schedule_fast(pu, now + _STALL_RETRY, state)
+                        continue
+                    if stall_streak[pu]:
+                        stall_streak[pu] = 0
+                    executed += 1
+                    if not result.hit:
+                        mshrs.allocate(
+                            line_address(op.addr), state.op_index,
+                            result.end_cycle,
+                        )
+                    # state.complete_mem(now, end), inlined:
+                    state._last_mem_issue = now
+                    state.completions[state.op_index] = end
+                    state.op_index += 1
+                    squashed = result.squashed_ranks
+                    if squashed:
+                        self._violations += 1
+                        self._restart_squashed(squashed, now)
+                    # self._schedule_fast(pu, now, state), inlined:
+                    pending = state.schedule_to_next_mem()
+                    if pending is None:
+                        done = state.done_time()
+                        if done < now:
+                            done = now
+                        self._seq += 1
+                        heappush(
+                            events, (done, self._seq, "done", pu, state.epoch)
+                        )
+                    else:
+                        issue = pending[0]
+                        if issue < now:
+                            issue = now
+                        self._seq += 1
+                        heappush(
+                            events, (issue, self._seq, "mem", pu, state.epoch)
+                        )
+                elif kind == "done":
+                    done_at[state.rank] = now
+                    self._try_commits_impl(now)
+        finally:
+            self._executed_memory_ops += executed
 
     # -- main loop ----------------------------------------------------------------------------
 
@@ -488,21 +669,30 @@ class TimingSimulator:
     def _run_impl(self) -> TimingReport:
         for pu in range(self.processor.n_pus):
             self._dispatch(pu, pu)  # sequencer dispatches one task per cycle
-        guard = 0
         limit = 200 * (sum(len(t.ops) + 4 for t in self.tasks) + 100)
-        while self._events:
-            guard += 1
-            if guard > limit:
-                raise SimulationError("timing simulation exceeded event budget")
-            time, _seq, kind, pu, epoch = heapq.heappop(self._events)
-            state = self._states[pu]
-            if state is None or state.epoch != epoch:
-                continue  # stale event from a squashed attempt
-            if kind == "mem":
-                self._handle_mem(pu, time)
-            elif kind == "done":
-                self._done_at[state.rank] = time
-                self._try_commits(time)
+        if self._telemetry is None and self._fault_injector is None:
+            self._run_loop_plain(limit)
+        else:
+            guard = 0
+            events = self._events
+            states = self._states
+            heappop = heapq.heappop
+            handle_mem = self._handle_mem
+            while events:
+                guard += 1
+                if guard > limit:
+                    raise SimulationError(
+                        "timing simulation exceeded event budget"
+                    )
+                time, _seq, kind, pu, epoch = heappop(events)
+                state = states[pu]
+                if state is None or state.epoch != epoch:
+                    continue  # stale event from a squashed attempt
+                if kind == "mem":
+                    handle_mem(pu, time)
+                elif kind == "done":
+                    self._done_at[state.rank] = time
+                    self._try_commits(time)
         if not all(self._committed):
             raise SimulationError("timing run ended with uncommitted tasks")
         self.system.drain()

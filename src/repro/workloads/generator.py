@@ -108,6 +108,14 @@ class _AddressStreams:
         self.read_only_base = self.shared_base + _round_kb(spec.shared_bytes)
         self.private_base = self.read_only_base + _round_kb(spec.read_only_bytes)
         self.frame_pointer = 0
+        # Per-region word counts, computed once instead of per address.
+        self._stream_words = max(1, spec.working_set_bytes // _WORD)
+        self._shared_words = max(1, spec.shared_bytes // _WORD)
+        self._shared_window = min(spec.shared_window_words, self._shared_words)
+        self._frame_words = max(1, spec.private_frame_bytes // _WORD)
+        self._n_frames = max(1, spec.private_frames)
+        self._read_only_words = max(1, spec.read_only_bytes // _WORD)
+        self._read_only_hot = min(spec.read_only_hot_words, self._read_only_words)
 
     def start_task(self) -> None:
         """Align the stream walk to a line boundary at task entry.
@@ -128,7 +136,7 @@ class _AddressStreams:
         jumps model pointer dereferences and loop-nest switches. The
         cyclic walk is what lets a working set that fits in cache settle
         into hits after the first pass."""
-        words = max(1, self.spec.working_set_bytes // _WORD)
+        words = self._stream_words
         if self.run_left <= 0:
             if rng.random() < self.spec.p_jump:
                 self.stream_pointer = rng.randrange(words)
@@ -142,15 +150,15 @@ class _AddressStreams:
         """An address in a window that slides one half-window per task,
         so task i overlaps tasks i-1 and i+1 — the producer/consumer
         pattern that exercises versioning."""
-        words = max(1, self.spec.shared_bytes // _WORD)
-        window = min(self.spec.shared_window_words, words)
+        words = self._shared_words
+        window = self._shared_window
         base = (rank * window // 2) % words
         return self.shared_base + ((base + rng.randrange(window)) % words) * _WORD
 
     def private_addr(self, rng, rank: int) -> int:
         """Walk the task's stack frame densely and sequentially."""
-        frame_words = max(1, self.spec.private_frame_bytes // _WORD)
-        frame = rank % max(1, self.spec.private_frames)
+        frame_words = self._frame_words
+        frame = rank % self._n_frames
         base = self.private_base + frame * self.spec.private_frame_bytes
         self.frame_pointer += 1
         if rng.random() < 0.2:
@@ -158,11 +166,9 @@ class _AddressStreams:
         return base + (self.frame_pointer % frame_words) * _WORD
 
     def read_only_addr(self, rng) -> int:
-        words = max(1, self.spec.read_only_bytes // _WORD)
-        hot = min(self.spec.read_only_hot_words, words)
         if rng.random() < self.spec.p_read_only_hot:
-            return self.read_only_base + rng.randrange(hot) * _WORD
-        return self.read_only_base + rng.randrange(words) * _WORD
+            return self.read_only_base + rng.randrange(self._read_only_hot) * _WORD
+        return self.read_only_base + rng.randrange(self._read_only_words) * _WORD
 
 
 def generate_tasks(
@@ -174,69 +180,79 @@ def generate_tasks(
     tasks: List[TaskProgram] = []
     store_counter = 1
 
+    # Hot-loop constants hoisted out of the per-op path; the RNG draw
+    # sequence is untouched, so generated workloads are bit-identical.
+    random = rng.random
+    p_load_dep = spec.p_load_dep
+    ilp_chain = spec.ilp_chain
+    memory_fraction = spec.memory_fraction
+    p_private = spec.p_private
+    p_private_shared = p_private + spec.p_shared
+    p_private_shared_ro = p_private_shared + spec.p_read_only
+    p_reuse = spec.p_reuse
+    store_fraction = spec.store_fraction
+    private_store_fraction = spec.private_store_fraction
+    fp_fraction = spec.fp_fraction
+    fp_imul_fraction = fp_fraction + spec.imul_fraction
+    shared_base = streams.shared_base
+    n_ops_lo = max(1, spec.ops_per_task_mean // 2)
+    n_ops_hi = spec.ops_per_task_mean + spec.ops_per_task_mean // 2
+    LOAD, STORE, COMPUTE = OpKind.LOAD, OpKind.STORE, OpKind.COMPUTE
+
     for rank in range(spec.n_tasks):
         streams.start_task()
-        n_ops = rng.randint(
-            max(1, spec.ops_per_task_mean // 2),
-            spec.ops_per_task_mean + spec.ops_per_task_mean // 2,
-        )
+        n_ops = rng.randint(n_ops_lo, n_ops_hi)
         ops: List[MemOp] = []
         recent_addrs: List[int] = []
         last_load: Optional[int] = None
 
         for _ in range(n_ops):
             depends = []
-            if last_load is not None and rng.random() < spec.p_load_dep:
+            if last_load is not None and random() < p_load_dep:
                 depends.append(last_load)
-            if ops and rng.random() < spec.ilp_chain:
+            if ops and random() < ilp_chain:
                 depends.append(len(ops) - 1)
 
-            if rng.random() < spec.memory_fraction:
-                region = rng.random()
-                if region < spec.p_private:
+            if random() < memory_fraction:
+                region = random()
+                if region < p_private:
                     addr = streams.private_addr(rng, rank)
-                    is_store = rng.random() < spec.private_store_fraction
-                elif region < spec.p_private + spec.p_shared:
+                    is_store = random() < private_store_fraction
+                elif region < p_private_shared:
                     addr = streams.shared_addr(rng, rank)
-                    is_store = rng.random() < spec.store_fraction
-                elif region < spec.p_private + spec.p_shared + spec.p_read_only:
+                    is_store = random() < store_fraction
+                elif region < p_private_shared_ro:
                     addr = streams.read_only_addr(rng)
                     is_store = False
-                elif recent_addrs and rng.random() < spec.p_reuse:
+                elif recent_addrs and random() < p_reuse:
                     addr = rng.choice(recent_addrs)
-                    is_store = rng.random() < spec.store_fraction
+                    is_store = random() < store_fraction
                 else:
                     addr = streams.stream_addr(rng)
-                    is_store = rng.random() < spec.store_fraction
+                    is_store = random() < store_fraction
                 # Only stream addresses feed the temporal-reuse pool:
                 # the other regions carry their own reuse structure, and
                 # replaying a read-only address as a store would break
                 # the region's meaning.
-                if addr < streams.shared_base:
+                if addr < shared_base:
                     recent_addrs.append(addr)
                     if len(recent_addrs) > 16:
                         recent_addrs.pop(0)
                 if is_store:
-                    ops.append(
-                        MemOp.store(
-                            addr, store_counter, depends_on=tuple(depends)
-                        )
-                    )
+                    ops.append(MemOp(STORE, addr, 4, store_counter, 1, tuple(depends)))
                     store_counter += 1
                 else:
-                    ops.append(MemOp.load(addr, depends_on=tuple(depends)))
+                    ops.append(MemOp(LOAD, addr, 4, 0, 1, tuple(depends)))
                     last_load = len(ops) - 1
             else:
-                kind_draw = rng.random()
-                if kind_draw < spec.fp_fraction:
+                kind_draw = random()
+                if kind_draw < fp_fraction:
                     latency = 4
-                elif kind_draw < spec.fp_fraction + spec.imul_fraction:
+                elif kind_draw < fp_imul_fraction:
                     latency = 3
                 else:
                     latency = 1
-                ops.append(
-                    MemOp.compute(latency=latency, depends_on=tuple(depends))
-                )
+                ops.append(MemOp(COMPUTE, 0, 4, 0, latency, tuple(depends)))
 
         tasks.append(
             TaskProgram(

@@ -1,6 +1,6 @@
 """EventLog: the protocol trace consumed by figure tests and examples."""
 
-from repro.common.events import EventLog
+from repro.common.events import EventLog, ProtocolEvent
 
 
 def test_emit_and_query():
@@ -63,3 +63,51 @@ def test_clear_keeps_observers_attached():
     log.clear()
     log.emit("b", source="s")
     assert [e.kind for e in seen] == ["a", "b"]
+
+
+def test_extend_appends_batch_in_order():
+    log = EventLog()
+    log.emit("commit", source="svc", rank=0)
+    log.extend(
+        ProtocolEvent(kind="squash", source="svc", detail={"rank": r})
+        for r in (3, 2, 1)
+    )
+    assert [e.kind for e in log] == ["commit", "squash", "squash", "squash"]
+    assert [e.detail["rank"] for e in log.of_kind("squash")] == [3, 2, 1]
+    assert log.last("squash").detail["rank"] == 1
+    assert log.last().detail["rank"] == 1
+
+
+def test_extend_notifies_observers_per_event_in_order():
+    log = EventLog()
+    seen = []
+    log.attach(seen.append)
+    log.extend(
+        [
+            ProtocolEvent(kind="a", source="s", detail={}),
+            ProtocolEvent(kind="b", source="s", detail={}),
+        ]
+    )
+    assert [e.kind for e in seen] == ["a", "b"]
+
+
+def test_lazy_index_catches_up_across_interleaved_queries():
+    """Per-kind index updates are deferred to query time; interleaving
+    emits, batched extends, and queries must never lose or double-count
+    events."""
+    log = EventLog()
+    log.emit("squash", source="svc", rank=1)
+    assert len(log.of_kind("squash")) == 1  # index built at watermark 1
+    log.emit("squash", source="svc", rank=2)
+    log.extend([ProtocolEvent(kind="squash", source="svc", detail={"rank": 3})])
+    assert [e.detail["rank"] for e in log.of_kind("squash")] == [1, 2, 3]
+    assert [e.detail["rank"] for e in log.of_kind("squash")] == [1, 2, 3]
+
+
+def test_clear_resets_lazy_index_watermark():
+    log = EventLog()
+    log.emit("squash", source="svc", rank=1)
+    assert log.last("squash") is not None  # force index build
+    log.clear()
+    log.emit("squash", source="svc", rank=9)
+    assert [e.detail["rank"] for e in log.of_kind("squash")] == [9]

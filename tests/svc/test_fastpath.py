@@ -118,6 +118,80 @@ def test_supply_plan_stamps_match_composed_bytes():
         ]
 
 
+# -- stamp-mismatch fallback (invariant 3's escape hatch) --------------------
+
+
+def _stamp_divergence_run(system):
+    """Drive a snarf whose candidate supply plans carry different stamps
+    than the bus line while describing the same bytes.
+
+    Task 0 stores 7 and commits (committed version, stamp S0).  Task 2
+    then stores the *same value* (active version, fresh stamp S2).  Task
+    1's load fills from the committed version alone, so snarfing is
+    allowed — but the free caches 3 and 4 insert *after* task 2's
+    version, so their supply plans see S2 where the bus line carries S0.
+    Equal bytes, unequal stamps: exactly the divergence the
+    stamp-compare accept must hand back to reference byte composition.
+    """
+    for cache_id in range(5):
+        system.begin_task(cache_id, cache_id)
+    system.store(0, A, 7)
+    system.commit_head(0)
+    system.store(2, A, 7)
+    return system.load(1, A)
+
+
+def test_snarf_stamp_mismatch_takes_byte_compose_fallback(monkeypatch):
+    from repro.svc.fastpath import FastpathKernel
+    from repro.svc.vcl import VersionControlLogic
+
+    depth = {"snarf": 0}
+    composed = {"in_snarf": 0}
+    real_snarf = FastpathKernel.snarf
+    real_compose = VersionControlLogic._compose
+
+    def tracking_snarf(self, *args, **kwargs):
+        depth["snarf"] += 1
+        try:
+            return real_snarf(self, *args, **kwargs)
+        finally:
+            depth["snarf"] -= 1
+
+    def counting_compose(self, *args, **kwargs):
+        if depth["snarf"]:
+            composed["in_snarf"] += 1
+        return real_compose(self, *args, **kwargs)
+
+    monkeypatch.setattr(FastpathKernel, "snarf", tracking_snarf)
+    monkeypatch.setattr(VersionControlLogic, "_compose", counting_compose)
+
+    system = make_svc("hr", n_caches=5)
+    _stamp_divergence_run(system)
+    line_addr = system.amap.line_address(A)
+    # The kernel could not accept on stamps — it composed bytes inside
+    # snarf for each free cache — yet the byte comparison succeeded and
+    # both candidates still took their copies.
+    assert composed["in_snarf"] >= 2
+    assert system.stats.snapshot().get("snarfs", 0) >= 2
+    for cache_id in (3, 4):
+        assert system.caches[cache_id].line_for(line_addr) is not None
+
+
+def test_stamp_mismatch_fallback_matches_reference_observables():
+    """The fallback must be invisible: identical event stream, stats,
+    and loaded value with the kernel on and off."""
+    observed = {}
+    for use_fastpath in (True, False):
+        system = make_svc("hr", n_caches=5, use_fastpath=use_fastpath)
+        result = _stamp_divergence_run(system)
+        observed[use_fastpath] = (
+            [(e.kind, e.source, e.detail) for e in system.event_log],
+            system.stats.snapshot(),
+            result.value,
+        )
+    assert observed[True] == observed[False]
+
+
 # -- differential anchors (fixed seeds, fault plans attached) ----------------
 
 

@@ -116,3 +116,51 @@ def test_resume_flag_uses_result_store(capsys, tmp_path):
     # Identical rendered output either way: warm results are the same
     # bytes the cold run produced.
     assert first.out.split("==", 2)[-1] == second.out.split("==", 2)[-1]
+
+
+# -- bench subcommand --------------------------------------------------------
+
+
+def test_bench_parser_accepts_documented_flags():
+    from repro.bench_cli import build_parser
+
+    args = build_parser().parse_args(
+        ["--scale", "0.1", "--repeats", "5", "--gate"]
+    )
+    assert args.scale == 0.1
+    assert args.repeats == 5
+    assert args.gate
+
+
+def test_bench_smoke_run_writes_payload(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "bench.json"
+    code = main([
+        "bench", "--scale", "0.02", "--benchmarks", "compress",
+        "--experiments", "fig19", "--repeats", "1",
+        "--experiments-only", "--output", str(out),
+    ])
+    assert code == 0
+    capsys.readouterr()
+    payload = json.loads(out.read_text())
+    assert payload["experiments"]["fig19"]["events_per_sec"] > 0
+    assert payload["meta"]["scale"] == 0.02
+
+
+def test_bench_gate_without_baseline_is_config_error(capsys, tmp_path, monkeypatch):
+    import repro.bench_cli as bench_cli
+
+    monkeypatch.setattr(bench_cli, "_repo_root", lambda: tmp_path)
+    assert main(["bench", "--gate"]) == 2
+    assert "no committed baseline" in capsys.readouterr().err
+
+
+def test_bench_unknown_experiment_is_usage_error(capsys, tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main([
+            "bench", "--experiments", "nope", "--experiments-only",
+            "--output", str(tmp_path / "b.json"),
+        ])
+    assert exc.value.code == 2
+    capsys.readouterr()

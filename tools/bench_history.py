@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Track events/sec over time and ratchet the bench gate floors.
+
+Two jobs, both fed by a fresh ``bench_perf.py`` payload:
+
+* **Trajectory** — append this run's per-experiment and per-tier
+  events/sec to a rolling JSON history (CI caches the file across runs
+  and uploads it as an artifact), so throughput drift is visible as a
+  series rather than a single pass/fail bit.
+* **Floor ratchet** — fail when the *gates themselves* drift: every
+  per-tier floor in the current payload must be at least the floor
+  recorded in the committed ``BENCH_PERF.json`` baseline. Raising a
+  floor is progress; silently lowering one would let a regression hide
+  behind a "passing" gate.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_history.py bench_perf_ci.json \\
+        --history bench_history.json --baseline BENCH_PERF.json
+
+Exit codes: 0 appended (and gates intact), 1 a floor drifted below the
+baseline, 2 usage error (unreadable payloads).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+#: Entries kept in the rolling history; old runs age out first.
+HISTORY_LIMIT = 200
+
+
+def load_json(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def history_entry(payload, timestamp):
+    """The compact per-run record appended to the history."""
+    entry = {
+        "timestamp": round(timestamp, 3),
+        "meta": payload.get("meta", {}),
+        "experiments": {
+            name: data.get("events_per_sec", 0)
+            for name, data in payload.get("experiments", {}).items()
+        },
+        "total_events_per_sec": payload.get("total", {}).get(
+            "events_per_sec", 0
+        ),
+    }
+    tiers = payload.get("tiers", {}).get("tiers", {})
+    if tiers:
+        entry["tiers"] = {
+            tier: data.get("events_per_sec", 0)
+            for tier, data in tiers.items()
+        }
+    return entry
+
+
+def ratchet_failures(payload, baseline):
+    """Failure strings when a current gate floor sits below the
+    committed baseline's floor for the same tier."""
+    failures = []
+    current = payload.get("tiers", {}).get("tiers", {})
+    committed = baseline.get("tiers", {}).get("tiers", {})
+    for tier, data in sorted(committed.items()):
+        floor = data.get("floor")
+        if floor is None:
+            continue
+        now = current.get(tier, {}).get("floor")
+        if now is None:
+            failures.append(
+                f"tier {tier!r}: floor missing from the current payload "
+                f"(baseline commits {floor})"
+            )
+        elif now < floor:
+            failures.append(
+                f"tier {tier!r}: gate floor drifted down "
+                f"({floor} -> {now}); floors only ratchet upward"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("payload", help="fresh bench_perf.py output JSON")
+    parser.add_argument(
+        "--history",
+        default="bench_history.json",
+        help="rolling history file to append to (created if missing)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="BENCH_PERF.json",
+        help="committed baseline whose gate floors must not be "
+        "undercut by the current payload",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=HISTORY_LIMIT,
+        help=f"history entries to retain (default {HISTORY_LIMIT})",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        payload = load_json(args.payload)
+    except (OSError, ValueError) as error:
+        print(f"unreadable payload {args.payload}: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        history = load_json(args.history)
+        if not isinstance(history.get("runs"), list):
+            raise ValueError("missing 'runs' list")
+    except FileNotFoundError:
+        history = {"runs": []}
+    except (OSError, ValueError) as error:
+        # A corrupt cache should not wedge CI forever: start fresh but
+        # say so loudly.
+        print(
+            f"resetting unreadable history {args.history}: {error}",
+            file=sys.stderr,
+        )
+        history = {"runs": []}
+
+    history["runs"].append(history_entry(payload, time.time()))
+    history["runs"] = history["runs"][-max(1, args.limit):]
+    with open(args.history, "w") as handle:
+        json.dump(history, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    latest = history["runs"][-1]
+    print(
+        f"appended run {len(history['runs'])}: "
+        + ", ".join(
+            f"{name} {eps} ev/s"
+            for name, eps in sorted(latest["experiments"].items())
+        ),
+        file=sys.stderr,
+    )
+
+    if args.baseline:
+        try:
+            baseline = load_json(args.baseline)
+        except (OSError, ValueError) as error:
+            print(
+                f"unreadable baseline {args.baseline}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        failures = ratchet_failures(payload, baseline)
+        if failures:
+            for failure in failures:
+                print(f"GATE DRIFT: {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

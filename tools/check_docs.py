@@ -186,6 +186,9 @@ def check_command(command):
     if subcommand == "trace":
         from repro.telemetry.trace_cli import build_parser
         return _parse_with(build_parser(), tokens[1:])
+    if subcommand == "bench":
+        from repro.bench_cli import build_parser
+        return _parse_with(build_parser(), tokens[1:])
 
     error = _parse_with(top_parser(), tokens)
     if error is not None:

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Profile the simulator's hot path under cProfile.
+
+Runs one experiment sweep (default: a fig19 slice) with the profiler
+attached and prints the top functions by cumulative time — the first
+place to look when the bench gates trip or before attempting a hot-path
+optimisation. docs/PERFORMANCE.md describes the measurement workflow
+this belongs to.
+
+Usage::
+
+    PYTHONPATH=src python tools/profile_hotpath.py
+    PYTHONPATH=src python tools/profile_hotpath.py --scale 0.02 \\
+        --benchmarks compress --output profile_hotpath.txt
+
+The report is written to stdout and, with ``--output``, to a text file
+(CI uploads it as an artifact from the bench-smoke job); ``--pstats``
+additionally dumps the raw profile for ``snakeviz``/``pstats`` digging.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import os
+import pstats
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.harness.experiments import EXPERIMENTS  # noqa: E402
+from repro.workloads.spec95 import BENCHMARKS  # noqa: E402
+
+#: Rows printed from the cumulative-time ranking.
+TOP_DEFAULT = 25
+
+
+def profile_run(experiment, benchmarks, scale):
+    """cProfile one serial experiment run; return the Profile object.
+
+    Serial on purpose: worker processes would take the work — and the
+    samples — out of this interpreter.
+    """
+    runner = EXPERIMENTS[experiment]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        runner(benchmarks=benchmarks, scale=scale, workers=None)
+    finally:
+        profiler.disable()
+    return profiler
+
+
+def render_report(profiler, top):
+    """The top-``top`` cumulative-time rows as text."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--experiment",
+        default="fig19",
+        choices=sorted(EXPERIMENTS),
+        help="experiment to profile (default fig19)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="workload scale factor (default 0.05, the CI smoke scale)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default="compress",
+        help="comma-separated benchmark subset (default compress)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=TOP_DEFAULT,
+        help=f"rows to print, ranked by cumulative time "
+        f"(default {TOP_DEFAULT})",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the text report here (CI artifact)",
+    )
+    parser.add_argument(
+        "--pstats",
+        default=None,
+        metavar="FILE",
+        help="also dump the raw profile for pstats/snakeviz",
+    )
+    args = parser.parse_args(argv)
+
+    benchmarks = tuple(name for name in args.benchmarks.split(",") if name)
+    unknown = [name for name in benchmarks if name not in BENCHMARKS]
+    if unknown:
+        parser.error(f"unknown benchmarks: {unknown}")
+
+    profiler = profile_run(args.experiment, benchmarks, args.scale)
+    header = (
+        f"== cProfile: {args.experiment} scale={args.scale} "
+        f"benchmarks={','.join(benchmarks)} top={args.top} =="
+    )
+    report = f"{header}\n{render_report(profiler, args.top)}"
+    print(report)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.pstats:
+        profiler.dump_stats(args.pstats)
+        print(f"wrote {args.pstats}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
