@@ -8,8 +8,10 @@ Usage (any experiment from the registry)::
     python -m repro list
     python -m repro replay failure.json --shrink
     python -m repro modelcheck --pus 2 --ops 3 --lines 2
+    python -m repro litmus --all
     python -m repro trace fig19 --scale 0.02 --benchmarks compress
     python -m repro bench --gate
+    python -m repro fig19 --workload trace:examples/traces/histogram.jsonl
 
 Results print in the paper's row/series shape, with the published
 numbers alongside where the paper reports them, and can additionally be
@@ -81,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
         + ", ".join(sorted(set(EXPERIMENTS) | {"list"}))
         + "; or 'replay <capture.json>' to re-run a failure capture; "
         "or 'modelcheck' for bounded exhaustive schedule exploration; "
+        "or 'litmus' for the litmus-shape conformance corpus; "
         "or 'trace <experiment>' to run with telemetry and emit a "
         "Perfetto-loadable Chrome trace; "
         "or 'bench' to run the performance benchmark and its gates",
@@ -90,6 +93,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated SPEC95 benchmark subset "
         f"(default: experiment-specific; all = {','.join(BENCHMARKS)})",
+    )
+    parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="NAME",
+        help="run every point of the experiment on one workload instead "
+        "of the benchmark set: 'trace:<file>' loads a JSON-lines trace "
+        "(see docs/WORKLOADS.md), a plain name selects that SPEC95 "
+        "profile; for traces, --scale repeats the whole program",
     )
     parser.add_argument(
         "--scale",
@@ -162,6 +174,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.bench_cli import bench_main
 
         return bench_main(raw[1:])
+    if raw and raw[0] == "litmus":
+        from repro.litmus.runner import litmus_main
+
+        return litmus_main(raw[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, runner in sorted(EXPERIMENTS.items()):
@@ -176,6 +192,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     kwargs = {}
+    if args.workload and args.benchmarks:
+        print("--workload and --benchmarks are mutually exclusive", file=sys.stderr)
+        return EXIT_USAGE
+    if args.workload:
+        from repro.workloads.traceprog import is_trace_workload, trace_path
+
+        if is_trace_workload(args.workload):
+            import os
+
+            if not os.path.isfile(trace_path(args.workload)):
+                print(
+                    f"trace file not found: {trace_path(args.workload)}",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+        elif args.workload not in BENCHMARKS:
+            print(
+                f"unknown workload {args.workload!r}: use a SPEC95 name "
+                f"({','.join(BENCHMARKS)}) or trace:<file>",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        kwargs["benchmarks"] = (args.workload,)
     if args.benchmarks:
         requested = tuple(name.strip() for name in args.benchmarks.split(","))
         unknown = [name for name in requested if name not in BENCHMARKS]

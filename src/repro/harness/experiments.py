@@ -24,7 +24,8 @@ from repro.telemetry import (
     Telemetry,
 )
 from repro.timing.simulator import TimingReport, TimingSimulator
-from repro.workloads.spec95 import BENCHMARKS, spec95_tasks
+from repro.workloads.spec95 import BENCHMARKS
+from repro.workloads.traceprog import resolve_tasks
 
 #: Paper-reported values, transcribed from the paper.
 PAPER_TABLE2 = {
@@ -146,7 +147,7 @@ def _run_svc(
     scale: Optional[float],
     telemetry: Optional[bool] = None,
 ) -> BenchmarkResult:
-    tasks = spec95_tasks(benchmark, scale)
+    tasks = resolve_tasks(benchmark, scale)
     tel = _point_telemetry(benchmark, machine, telemetry)
     system = SVCSystem(config, telemetry=tel)
     report = TimingSimulator(system, tasks).run()
@@ -160,7 +161,7 @@ def _run_arb(
     scale: Optional[float],
     telemetry: Optional[bool] = None,
 ) -> BenchmarkResult:
-    tasks = spec95_tasks(benchmark, scale)
+    tasks = resolve_tasks(benchmark, scale)
     tel = _point_telemetry(benchmark, machine, telemetry)
     system = ARBSystem(config, telemetry=tel)
     report = TimingSimulator(system, tasks).run()

@@ -75,8 +75,17 @@ def point_key(spec) -> str:
     ``repr`` covers every config field, including nested geometry.
     """
     from repro.workloads.spec95 import scale_factor
+    from repro.workloads.traceprog import is_trace_workload, trace_digest, trace_path
 
     scale = spec.scale if spec.scale is not None else scale_factor()
+    # SPEC95 points regenerate from seeds baked into the code (covered by
+    # the code fingerprint); a trace point's workload lives in a file the
+    # fingerprint cannot see, so its content digest joins the key.
+    workload = (
+        trace_digest(trace_path(spec.benchmark))
+        if is_trace_workload(spec.benchmark)
+        else ""
+    )
     payload = "\x00".join(
         (
             spec.benchmark,
@@ -85,6 +94,7 @@ def point_key(spec) -> str:
             repr(spec.config),
             repr(float(scale)),
             repr(spec.telemetry),
+            workload,
             code_fingerprint(),
         )
     )

@@ -54,6 +54,10 @@ class ExplorationResult:
     depth_capped: int = 0
     truncated: bool = False
     outcomes: Set[Outcome] = field(default_factory=set)
+    #: First schedule observed to reach each outcome — the witness the
+    #: litmus layer prints under ``--explain``. Keys are a subset of
+    #: ``outcomes``; values are full action scripts.
+    witnesses: Dict[Outcome, Tuple[Action, ...]] = field(default_factory=dict)
     #: Failing cases, each paired with its classified result.
     counterexamples: List[Tuple[Case, CaseResult]] = field(default_factory=list)
 
@@ -147,12 +151,13 @@ class _Explorer:
             if problems:
                 self._record_counterexample(script)
                 return
-            self.result.outcomes.add(
-                (
-                    tuple(tuple(values) for values in report.load_values),
-                    tuple(sorted(system.memory.image().items())),
-                )
+            outcome = (
+                tuple(tuple(values) for values in report.load_values),
+                tuple(sorted(system.memory.image().items())),
             )
+            if outcome not in self.result.outcomes:
+                self.result.outcomes.add(outcome)
+                self.result.witnesses[outcome] = tuple(script)
             return
 
         if len(script) >= self.max_depth:

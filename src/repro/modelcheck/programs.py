@@ -76,6 +76,41 @@ def location_address(index: int) -> int:
     return line * LINE_SIZE + word * WORD_SIZE
 
 
+def bounds_for_programs(
+    programs: Sequence[Sequence[TaskProgram]],
+    pus: int = 2,
+) -> Bounds:
+    """A :class:`Bounds` wide enough for externally supplied programs.
+
+    Litmus shapes and trace fragments arrive as hand-built
+    ``TaskProgram`` tuples rather than enumerator output; this derives
+    the bound that makes :func:`bound_geometry` replacement-free for
+    them: ``ops`` covers the largest program's memory-op total, ``lines``
+    covers its distinct 16-byte lines (whatever their absolute
+    addresses — the geometry only needs the *count*, since its
+    associativity covers the worst-case set collision), and ``tasks``
+    covers the longest task list.
+    """
+    if not programs:
+        raise ConfigError("bounds_for_programs needs at least one program")
+    max_ops = 1
+    max_lines = 1
+    max_tasks = 1
+    for program in programs:
+        if not program:
+            raise ConfigError("cannot bound an empty program")
+        ops = sum(len(task.memory_ops) for task in program)
+        lines = {
+            op.addr // LINE_SIZE for task in program for op in task.memory_ops
+        }
+        max_ops = max(max_ops, ops)
+        max_lines = max(max_lines, len(lines) or 1)
+        max_tasks = max(max_tasks, len(program))
+    return Bounds(
+        pus=max(2, pus), ops=max_ops, lines=max_lines, tasks=max_tasks
+    )
+
+
 def bound_geometry(bounds: Bounds) -> CacheGeometry:
     """A geometry under which no exploration ever needs a replacement.
 

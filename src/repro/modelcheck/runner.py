@@ -140,6 +140,7 @@ def run_modelcheck(
     max_nodes: int = 250_000,
     max_counterexamples: int = 1,
     max_programs: Optional[int] = None,
+    programs: Optional[Sequence[Sequence]] = None,
     log=None,
 ) -> ModelCheckReport:
     """Exhaustively check every program within ``bounds`` on ``designs``.
@@ -147,6 +148,13 @@ def run_modelcheck(
     With a ``mutation``, targets default to the tiers the mutation is
     reachable on (and the cross-target comparison is skipped — a mutated
     machine is *supposed* to diverge from the baseline).
+
+    ``programs`` supplies externally built task lists (litmus shapes,
+    trace fragments) to check *instead of* the bound's enumeration. They
+    are explored exactly as given — no symmetry canonicalization, no
+    location renaming — so a hand-built IRIW shape round-trips the
+    explorer unchanged; ``bounds`` then only sizes the replacement-free
+    geometry (see :func:`repro.modelcheck.programs.bounds_for_programs`).
     """
     if mutation is not None and mutation not in MUTATIONS:
         raise ConfigError(
@@ -161,7 +169,11 @@ def run_modelcheck(
                 f"unknown design {design!r}; choose from {ALL_TARGETS}"
             )
 
-    programs = list(enumerate_programs(bounds))
+    programs = (
+        [tuple(program) for program in programs]
+        if programs is not None
+        else list(enumerate_programs(bounds))
+    )
     if max_programs is not None and len(programs) > max_programs:
         if log is not None:
             log(

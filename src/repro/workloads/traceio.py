@@ -45,20 +45,68 @@ def _encode_op(op: MemOp) -> list:
     raise ConfigError(f"cannot encode op kind {op.kind!r}")
 
 
-def _decode_op(encoded: list) -> MemOp:
+def _int_field(encoded: list, index: int, what: str) -> int:
+    """Field ``index`` as a plain int (bools are JSON ``true``/``false``
+    leaking into a numeric slot — reject them explicitly)."""
+    value = encoded[index]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(f"{what} must be an int, got {value!r}")
+    return value
+
+
+def _dep_list(encoded: list, index: int, what: str) -> tuple:
+    """Field ``index`` as a dependence list: a JSON array of ints."""
+    value = encoded[index]
+    if not isinstance(value, list):
+        raise ConfigError(f"{what} must be a list of ints, got {value!r}")
+    for dep in value:
+        if isinstance(dep, bool) or not isinstance(dep, int):
+            raise ConfigError(f"{what} must contain only ints, got {dep!r}")
+    return tuple(value)
+
+
+def _decode_op(encoded) -> MemOp:
+    if not isinstance(encoded, list) or not encoded:
+        raise ConfigError(f"op must be a non-empty list, got {encoded!r}")
     code = encoded[0]
     if code == "L":
-        deps = tuple(encoded[3]) if len(encoded) > 3 else ()
-        return MemOp.load(encoded[1], encoded[2], depends_on=deps)
+        if len(encoded) not in (3, 4):
+            raise ConfigError(
+                f"load op takes [L, addr, size] or [L, addr, size, deps], "
+                f"got {len(encoded)} fields"
+            )
+        deps = _dep_list(encoded, 3, "load deps") if len(encoded) > 3 else ()
+        return MemOp.load(
+            _int_field(encoded, 1, "load addr"),
+            _int_field(encoded, 2, "load size"),
+            depends_on=deps,
+        )
     if code == "S":
-        value_deps = tuple(encoded[4]) if len(encoded) > 4 else ()
-        deps = tuple(encoded[5]) if len(encoded) > 5 else ()
+        if len(encoded) not in (4, 5, 6):
+            raise ConfigError(
+                f"store op takes [S, addr, size, value] plus optional "
+                f"value-dep and dep lists, got {len(encoded)} fields"
+            )
+        value_deps = (
+            _dep_list(encoded, 4, "store value deps") if len(encoded) > 4 else ()
+        )
+        deps = _dep_list(encoded, 5, "store deps") if len(encoded) > 5 else ()
         return MemOp.store(
-            encoded[1], encoded[3], encoded[2],
-            value_deps=value_deps, depends_on=deps,
+            _int_field(encoded, 1, "store addr"),
+            _int_field(encoded, 3, "store value"),
+            _int_field(encoded, 2, "store size"),
+            value_deps=value_deps,
+            depends_on=deps,
         )
     if code == "C":
-        return MemOp.compute(latency=encoded[1], depends_on=tuple(encoded[2]))
+        if len(encoded) != 3:
+            raise ConfigError(
+                f"compute op takes [C, latency, deps], got {len(encoded)} fields"
+            )
+        return MemOp.compute(
+            latency=_int_field(encoded, 1, "compute latency"),
+            depends_on=_dep_list(encoded, 2, "compute deps"),
+        )
     raise ConfigError(f"unknown op code {code!r} in trace")
 
 
@@ -86,8 +134,15 @@ def load_tasks(path: Union[str, Path]) -> List[TaskProgram]:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
                 raise ConfigError(f"trace line {line_no}: bad JSON: {exc}") from exc
+            if not isinstance(record, dict):
+                raise ConfigError(
+                    f"trace line {line_no}: task record must be an object, "
+                    f"got {type(record).__name__}"
+                )
             try:
                 ops = [_decode_op(op) for op in record["ops"]]
+            except ConfigError as exc:
+                raise ConfigError(f"trace line {line_no}: {exc}") from exc
             except (KeyError, IndexError, TypeError) as exc:
                 raise ConfigError(
                     f"trace line {line_no}: malformed op list"

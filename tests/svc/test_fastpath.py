@@ -211,6 +211,31 @@ def test_fastpath_equals_reference_with_faults(tier):
     assert not mismatches, "\n".join(mismatches)
 
 
+# -- litmus shapes as differential inputs ------------------------------------
+#
+# The litmus corpus (tests/litmus/) proves each shape's outcome set by
+# exhaustive exploration; here each shape doubles as a tiny adversarial
+# workload for the fastpath kernel: every shape must produce an
+# identical event stream with the kernel on and off, on every tier.
+
+
+def _litmus_cases():
+    from repro.litmus.shapes import LITMUS_SHAPES
+
+    return [
+        (name, tier) for name in sorted(LITMUS_SHAPES) for tier in TIERS
+    ]
+
+
+@pytest.mark.parametrize("shape,tier", _litmus_cases())
+def test_fastpath_identical_on_litmus_shapes(shape, tier):
+    from repro.litmus.shapes import LITMUS_SHAPES, compile_shape
+
+    tasks = list(compile_shape(LITMUS_SHAPES[shape]))
+    mismatches = compare_fastpath_modes(tier, tasks, seed=5)
+    assert not mismatches, "\n".join(mismatches)
+
+
 def test_fastpath_equals_reference_adversarial_schedule():
     """youngest_first maximizes misspeculation — the squash/repair path
     is where a desynchronized kernel would show first."""

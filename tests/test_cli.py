@@ -118,6 +118,49 @@ def test_resume_flag_uses_result_store(capsys, tmp_path):
     assert first.out.split("==", 2)[-1] == second.out.split("==", 2)[-1]
 
 
+# -- trace workloads ---------------------------------------------------------
+
+
+def test_workload_and_benchmarks_are_mutually_exclusive(capsys):
+    assert main([
+        "table2", "--workload", "gcc", "--benchmarks", "gcc",
+    ]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_workload_missing_trace_file_is_usage_error(capsys):
+    assert main(["table2", "--workload", "trace:/nope/missing.jsonl"]) == 2
+    assert "trace file not found" in capsys.readouterr().err
+
+
+def test_workload_unknown_name_is_usage_error(capsys):
+    assert main(["table2", "--workload", "linpack"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_trace_workload_campaign_with_resume(capsys, tmp_path):
+    """The tentpole's end-to-end: a bundled trace kernel sweeps a full
+    experiment through the supervised engine, and --resume serves every
+    point from the store on the second run."""
+    store = str(tmp_path / "store")
+    argv = [
+        "table2", "--workload", "trace:examples/traces/memcpy.jsonl",
+        "--scale", "1", "--resume", "--store", store,
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr()
+    assert "trace:examples/traces/memcpy.jsonl" in first.out
+    assert "2 recomputed" in first.err
+    assert main(argv) == 0
+    second = capsys.readouterr()
+    assert "0 recomputed" in second.err and "2 cached" in second.err
+
+
+def test_spec95_name_accepted_as_workload(capsys):
+    assert main(["table2", "--workload", "gcc", "--scale", "0.02"]) == 0
+    assert "gcc" in capsys.readouterr().out
+
+
 # -- bench subcommand --------------------------------------------------------
 
 

@@ -82,3 +82,74 @@ def test_blank_lines_skipped(tmp_path):
     path = tmp_path / "blank.jsonl"
     path.write_text('\n{"ops": []}\n\n')
     assert len(load_tasks(path)) == 1
+
+
+# -- strict decode: every malformed-op shape is rejected with the line -------
+
+
+def _reject(tmp_path, op_json, match):
+    path = tmp_path / "reject.jsonl"
+    path.write_text('{"ops": [%s]}\n' % op_json)
+    with pytest.raises(ConfigError, match=match):
+        load_tasks(path)
+
+
+def test_load_deps_must_be_a_list(tmp_path):
+    _reject(tmp_path, '["L", 0, 4, 7]', "load deps must be a list")
+
+
+def test_load_deps_must_hold_ints(tmp_path):
+    _reject(tmp_path, '["L", 0, 4, ["a"]]', "load deps must contain only ints")
+    _reject(tmp_path, '["L", 0, 4, [true]]', "load deps must contain only ints")
+
+
+def test_load_arity_checked(tmp_path):
+    _reject(tmp_path, '["L", 0]', "load op takes")
+    _reject(tmp_path, '["L", 0, 4, [], []]', "load op takes")
+
+
+def test_load_fields_must_be_ints(tmp_path):
+    _reject(tmp_path, '["L", "0x100", 4]', "load addr must be an int")
+    _reject(tmp_path, '["L", 0, true]', "load size must be an int")
+
+
+def test_store_arity_checked(tmp_path):
+    _reject(tmp_path, '["S", 0, 4]', "store op takes")
+    _reject(tmp_path, '["S", 0, 4, 1, [], [], []]', "store op takes")
+
+
+def test_store_fields_must_be_ints(tmp_path):
+    _reject(tmp_path, '["S", null, 4, 1]', "store addr must be an int")
+    _reject(tmp_path, '["S", 0, 4, "1"]', "store value must be an int")
+
+
+def test_store_dep_lists_checked(tmp_path):
+    _reject(tmp_path, '["S", 0, 4, 1, 5]', "store value deps must be a list")
+    _reject(tmp_path, '["S", 0, 4, 1, [], 3]', "store deps must be a list")
+    _reject(tmp_path, '["S", 0, 4, 1, [0.5]]', "store value deps must contain")
+
+
+def test_compute_arity_and_types_checked(tmp_path):
+    _reject(tmp_path, '["C", 1]', "compute op takes")
+    _reject(tmp_path, '["C", 1, [], []]', "compute op takes")
+    _reject(tmp_path, '["C", 1, 2]', "compute deps must be a list")
+    _reject(tmp_path, '["C", "fast", []]', "compute latency must be an int")
+
+
+def test_op_must_be_a_nonempty_list(tmp_path):
+    _reject(tmp_path, '"L"', "op must be a non-empty list")
+    _reject(tmp_path, "[]", "op must be a non-empty list")
+
+
+def test_rejection_names_the_line(tmp_path):
+    path = tmp_path / "lines.jsonl"
+    path.write_text('{"ops": []}\n{"ops": [["L", 0, 4, false]]}\n')
+    with pytest.raises(ConfigError, match="trace line 2"):
+        load_tasks(path)
+
+
+def test_non_object_record_rejected(tmp_path):
+    path = tmp_path / "array.jsonl"
+    path.write_text("[1, 2, 3]\n")
+    with pytest.raises(ConfigError, match="must be an object"):
+        load_tasks(path)
