@@ -12,6 +12,8 @@ Usage (any experiment from the registry)::
     python -m repro trace fig19 --scale 0.02 --benchmarks compress
     python -m repro bench --gate
     python -m repro fig19 --workload trace:examples/traces/histogram.jsonl
+    python -m repro fig19 --workers 2 --progress --stream campaign.ndjson
+    python -m repro report fig19 --scale 0.05
 
 Results print in the paper's row/series shape, with the published
 numbers alongside where the paper reports them, and can additionally be
@@ -86,7 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
         "or 'litmus' for the litmus-shape conformance corpus; "
         "or 'trace <experiment>' to run with telemetry and emit a "
         "Perfetto-loadable Chrome trace; "
-        "or 'bench' to run the performance benchmark and its gates",
+        "or 'bench' to run the performance benchmark and its gates; "
+        "or 'report <experiment>' to run a campaign and render an "
+        "aggregated HTML/markdown run report",
     )
     parser.add_argument(
         "--benchmarks",
@@ -153,6 +157,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-store root for --resume "
         "(default: REPRO_RESULT_STORE or .repro-results)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live campaign progress (points done/running/"
+        "quarantined, retries, ETA, per-tier events/sec) on stderr",
+    )
+    parser.add_argument(
+        "--stream",
+        default=None,
+        metavar="FILE",
+        help="write the campaign's schema-versioned NDJSON event stream "
+        "to FILE (validate with python -m repro.telemetry.stream)",
+    )
     return parser
 
 
@@ -178,6 +195,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.litmus.runner import litmus_main
 
         return litmus_main(raw[1:])
+    if raw and raw[0] == "report":
+        from repro.telemetry.report import report_main
+
+        return report_main(raw[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name, runner in sorted(EXPERIMENTS.items()):
@@ -247,6 +268,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             chaos_seed=args.chaos,
             resume=args.resume,
             store_root=args.store,
+            stream_path=args.stream,
+            progress=args.progress,
         )
     except ConfigError as error:
         print(f"config error: {error}", file=sys.stderr)
@@ -284,9 +307,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         for report in result.campaigns:
             for outcome in report.quarantined:
                 last = outcome.failures[-1] if outcome.failures else "?"
+                flight = (
+                    f" ({len(outcome.flight)} flight record(s) attached)"
+                    if outcome.flight
+                    else ""
+                )
                 print(
                     f"  quarantined {outcome.spec.benchmark}/"
-                    f"{outcome.spec.machine}: {last}",
+                    f"{outcome.spec.machine}: {last}{flight}",
                     file=sys.stderr,
                 )
         return EXIT_RUN_FAILURE

@@ -19,6 +19,14 @@ every experiment runner. The store is a plain directory of pickle files
 killed writer never leaves a truncated entry, and safe to share between
 concurrent campaigns (last-writer-wins on identical content).
 
+Quarantine records live in a **separate namespace**
+(``<root>/quarantine/<key[:2]>/<key>.json``): they describe *failures*
+(attempt history plus the flight-recorder post-mortem from
+:mod:`repro.telemetry.flight`) and must never be served as results by
+``get`` — a resumed campaign retries a previously-quarantined point
+from scratch. They are JSON, not pickle, because their audience is a
+human running ``jq`` over a store after a bad night, not the engine.
+
 The root resolves from the explicit argument, else the
 ``REPRO_RESULT_STORE`` environment variable, else ``.repro-results`` in
 the working directory.
@@ -165,6 +173,44 @@ class ResultStore:
 
     def contains(self, key: str) -> bool:
         return os.path.exists(self._path(key))
+
+    # -- quarantine namespace (post-mortems, never served as results) --------
+
+    def _quarantine_path(self, key: str) -> str:
+        return os.path.join(self.root, "quarantine", key[:2], f"{key}.json")
+
+    def put_quarantine(self, key: str, record: Dict) -> str:
+        """Persist one quarantine post-mortem (JSON, atomic rename);
+        returns the path written."""
+        import json
+
+        path = self._quarantine_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, temp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True, indent=1)
+            os.replace(temp, path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_quarantine(self, key: str) -> Optional[Dict]:
+        """The quarantine record for ``key``, or ``None``."""
+        import json
+
+        try:
+            with open(self._quarantine_path(key)) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
 
     def discard(self, key: str) -> bool:
         """Drop one entry (used by tests to simulate a lost point)."""

@@ -21,7 +21,14 @@ point as a speculative task:
   points;
 * **resume** — with a :class:`~repro.harness.resultstore.ResultStore`,
   completed points are served from the content-addressed cache and only
-  missing/changed points recompute.
+  missing/changed points recompute;
+* **observability** — the engine narrates the campaign as a
+  schema-versioned NDJSON event stream
+  (:class:`repro.telemetry.stream.CampaignStream`, CLI ``--stream`` /
+  ``--progress``), and each attempt writes flight-recorder breadcrumbs
+  (:mod:`repro.telemetry.flight`) so a quarantined point ships its own
+  post-mortem, attached to the :class:`PointOutcome` and to the result
+  store's quarantine namespace.
 
 Because every point is a pure function of its spec, a retried point
 reproduces exactly the bytes the fault destroyed — the chaos suite
@@ -182,6 +189,17 @@ class SupervisorConfig:
     is an explicit plan; ``chaos_seed`` draws a survivable random plan
     sized to the campaign. ``telemetry`` hooks the retry/timeout/crash/
     quarantine counters and campaign/attempt spans into the PR-4 layer.
+
+    Observability knobs: ``stream`` is a caller-owned
+    :class:`repro.telemetry.stream.CampaignStream` (the report CLI uses
+    this to watch its own campaign); ``stream_path``/``progress`` make
+    the engine construct one itself (NDJSON file / live terminal line).
+    ``flight`` controls per-attempt flight-recorder dumps: ``None``
+    (default) auto-enables them whenever a post-mortem is plausible —
+    chaos, timeouts, streaming, or an explicit ``flight_dir`` — so the
+    plain no-fault fast path stays file-free; ``flight_dir=None`` uses
+    a temp directory cleaned at campaign end (quarantine dumps are
+    collected first).
     """
 
     workers: Optional[int] = None
@@ -193,6 +211,11 @@ class SupervisorConfig:
     resume: bool = False
     store_root: Optional[str] = None
     telemetry: object = None
+    stream: object = None
+    stream_path: Optional[str] = None
+    progress: bool = False
+    flight: Optional[bool] = None
+    flight_dir: Optional[str] = None
 
 
 _DEFAULT_CONFIG = SupervisorConfig()
@@ -217,7 +240,12 @@ def default_supervisor() -> SupervisorConfig:
 
 @dataclass
 class PointOutcome:
-    """Terminal state of one point: a result, a cache hit, or quarantine."""
+    """Terminal state of one point: a result, a cache hit, or quarantine.
+
+    ``flight`` carries the flight-recorder post-mortem for quarantined
+    points (a list of per-attempt dump dicts, see
+    :mod:`repro.telemetry.flight`); ``None`` otherwise.
+    """
 
     index: int
     spec: object
@@ -225,6 +253,7 @@ class PointOutcome:
     result: object = None
     attempts: int = 0
     failures: List[str] = field(default_factory=list)
+    flight: Optional[List[Dict]] = None
 
 
 @dataclass
@@ -279,16 +308,61 @@ class _Work:
         self.not_before = 0.0
 
 
+def _run_attempt(index, attempt, spec, chaos, allow_kill, flight_root):
+    """One point attempt with flight recording: returns ``(result, wall)``.
+
+    Shared by the serial loop and the worker wrapper. The
+    ``attempt_started`` breadcrumb is flushed *before* execution begins
+    — it is the only record that survives a wall-clock SIGKILL, and its
+    unmatched presence is the timeout post-mortem.
+    """
+    recorder = None
+    if flight_root is not None:
+        from repro.telemetry.flight import FlightRecorder
+
+        recorder = FlightRecorder(flight_root, index, attempt)
+        recorder.note(
+            "attempt_started",
+            benchmark=getattr(spec, "benchmark", "?"),
+            machine=getattr(spec, "machine", "?"),
+            spec_kind=getattr(spec, "kind", "?"),
+        )
+        recorder.flush()
+    start = time.perf_counter()
+    try:
+        if chaos is not None:
+            chaos.apply(index, attempt, allow_kill=allow_kill)
+        result = execute_point(spec)
+    except BaseException as exc:
+        if recorder is not None:
+            recorder.note("exception", error=repr(exc))
+            recorder.flush()
+        raise
+    wall = time.perf_counter() - start
+    if recorder is not None:
+        recorder.note(
+            "attempt_finished",
+            wall_s=round(wall, 6),
+            events=getattr(result, "instructions", None),
+        )
+        recorder.note_span_tail(getattr(result, "telemetry", None))
+        recorder.flush()
+    return result, wall
+
+
 def _execute_supervised(payload):
     """Worker-side wrapper: apply the chaos plan, then run the point.
 
-    Top-level so it pickles. Returns ``(index, result)`` so the
-    supervisor can match completions to specs regardless of order.
+    Top-level so it pickles. Returns ``(index, result, wall_seconds)``
+    so the supervisor can match completions to specs regardless of
+    order and feed attempt walls into the campaign event stream.
     """
-    index, attempt, spec, chaos_data = payload
-    if chaos_data is not None:
-        ChaosPlan.from_dict(chaos_data).apply(index, attempt, allow_kill=True)
-    return index, execute_point(spec)
+    index, attempt, spec, chaos_data, flight_root = payload
+    chaos = ChaosPlan.from_dict(chaos_data) if chaos_data is not None else None
+    result, wall = _run_attempt(
+        index, attempt, spec, chaos, allow_kill=True, flight_root=flight_root
+    )
+    return index, result, wall
 
 
 def _kill_pool(pool) -> None:
@@ -334,6 +408,38 @@ class _Engine:
         from repro.telemetry import wired
 
         self.telemetry = wired(config.telemetry)
+        # Campaign event stream: use the caller's, or build one when the
+        # CLI asked for a file and/or live progress.
+        self.stream = config.stream
+        self._owns_stream = False
+        if self.stream is None and (config.stream_path or config.progress):
+            from repro.telemetry.stream import CampaignStream
+
+            self.stream = CampaignStream(
+                path=config.stream_path, progress=config.progress
+            )
+            self._owns_stream = True
+        # Flight recording: None = auto (on whenever a post-mortem is
+        # plausible); the plain fast path stays file-free.
+        flight = config.flight
+        if flight is None:
+            flight = bool(
+                self.chaos is not None
+                or self.timeout is not None
+                or self.stream is not None
+                or config.flight_dir
+            )
+        self.flight_root: Optional[str] = None
+        self._owns_flight = False
+        if flight:
+            if config.flight_dir:
+                self.flight_root = os.path.abspath(config.flight_dir)
+                os.makedirs(self.flight_root, exist_ok=True)
+            else:
+                import tempfile
+
+                self.flight_root = tempfile.mkdtemp(prefix="repro-flight-")
+                self._owns_flight = True
         self.outcomes: Dict[int, PointOutcome] = {}
         self.counters: Dict[str, int] = {
             key: 0
@@ -353,7 +459,9 @@ class _Engine:
             if point is not None:
                 self.telemetry.instant(SUPERVISOR_EVENT, name, point=point)
 
-    def _succeed(self, work: _Work, result, fresh: bool = True) -> None:
+    def _succeed(
+        self, work: _Work, result, fresh: bool = True, wall: float = 0.0
+    ) -> None:
         self.outcomes[work.index] = PointOutcome(
             index=work.index,
             spec=work.spec,
@@ -367,12 +475,46 @@ class _Engine:
             self._count("recomputed")
             if self.store is not None and work.key is not None:
                 self.store.put(work.key, result)
+        if self.stream is not None:
+            metrics = {}
+            for name in ("ipc", "miss_ratio"):
+                value = getattr(result, name, None)
+                if isinstance(value, (int, float)):
+                    metrics[name] = round(float(value), 6)
+            self.stream.point_finished(
+                point=work.index,
+                attempt=max(0, work.attempts - 1),
+                benchmark=getattr(work.spec, "benchmark", "?"),
+                machine=getattr(work.spec, "machine", "?"),
+                status=OK if fresh else CACHED,
+                wall_s=wall if fresh else 0.0,
+                events=getattr(result, "instructions", None),
+                metrics=metrics or None,
+            )
+
+    def _quarantine_record(self, work: _Work, flight: List[Dict]) -> Dict:
+        """JSON post-mortem for the result store's quarantine namespace."""
+        return {
+            "schema": 1,
+            "point": work.index,
+            "benchmark": getattr(work.spec, "benchmark", "?"),
+            "machine": getattr(work.spec, "machine", "?"),
+            "kind": getattr(work.spec, "kind", "?"),
+            "attempts": work.attempts,
+            "failures": list(work.failures),
+            "flight": flight,
+        }
 
     def _fail(self, work: _Work, kind: str, note: str) -> bool:
         """Charge one failed attempt; True when the point should retry."""
         work.failures.append(note)
         self._count(kind, point=work.index)
         if work.attempts > self.retries:
+            flight: List[Dict] = []
+            if self.flight_root is not None:
+                from repro.telemetry.flight import load_point_records
+
+                flight = load_point_records(self.flight_root, work.index)
             self.outcomes[work.index] = PointOutcome(
                 index=work.index,
                 spec=work.spec,
@@ -380,12 +522,32 @@ class _Engine:
                 result=None,
                 attempts=work.attempts,
                 failures=work.failures,
+                flight=flight or None,
             )
             self._count("quarantined", point=work.index)
+            if self.store is not None and work.key is not None:
+                self.store.put_quarantine(
+                    work.key, self._quarantine_record(work, flight)
+                )
+            if self.stream is not None:
+                self.stream.point_quarantined(
+                    point=work.index,
+                    attempts=work.attempts,
+                    note=work.failures[-1] if work.failures else "",
+                    flight_records=len(flight),
+                )
             return False
         self._count("retries", point=work.index)
         delay = self.backoff.delay(work.key or str(work.index), work.attempts - 1)
         work.not_before = time.monotonic() + delay
+        if self.stream is not None:
+            self.stream.point_retry(
+                point=work.index,
+                attempt=work.attempts - 1,
+                kind=kind,
+                delay_s=delay,
+                note=note,
+            )
         return True
 
     def _work_key(self, work: _Work) -> str:
@@ -412,6 +574,7 @@ class _Engine:
     # -- serial engine -------------------------------------------------------
 
     def _run_serial(self, todo: List[_Work]) -> None:
+        remaining = len(todo)
         for work in todo:
             while True:
                 attempt = work.attempts
@@ -423,10 +586,18 @@ class _Engine:
                         f"{work.spec.benchmark}/{work.spec.machine}",
                         point=work.index, attempt=attempt,
                     )
+                if self.stream is not None:
+                    self.stream.point_started(
+                        point=work.index,
+                        attempt=attempt,
+                        benchmark=getattr(work.spec, "benchmark", "?"),
+                        machine=getattr(work.spec, "machine", "?"),
+                    )
                 try:
-                    if self.chaos is not None:
-                        self.chaos.apply(work.index, attempt, allow_kill=False)
-                    result = execute_point(work.spec)
+                    result, wall = _run_attempt(
+                        work.index, attempt, work.spec, self.chaos,
+                        allow_kill=False, flight_root=self.flight_root,
+                    )
                 except KeyboardInterrupt:
                     if span is not None:
                         self.telemetry.end(span, level="error", outcome="interrupted")
@@ -445,8 +616,11 @@ class _Engine:
                 else:
                     if span is not None:
                         self.telemetry.end(span, outcome="ok")
-                    self._succeed(work, result)
+                    self._succeed(work, result, wall=wall)
                     break
+            remaining -= 1
+            if self.stream is not None:
+                self.stream.heartbeat(waiting=remaining)
 
     # -- parallel engine -----------------------------------------------------
 
@@ -476,11 +650,18 @@ class _Engine:
             work.attempts += 1
             future = pool.submit(
                 _execute_supervised,
-                (work.index, attempt, work.spec, chaos_data),
+                (work.index, attempt, work.spec, chaos_data, self.flight_root),
             )
             inflight[future] = work
             if self.timeout is not None:
                 deadlines[future] = time.monotonic() + self.timeout
+            if self.stream is not None:
+                self.stream.point_started(
+                    point=work.index,
+                    attempt=attempt,
+                    benchmark=getattr(work.spec, "benchmark", "?"),
+                    machine=getattr(work.spec, "machine", "?"),
+                )
 
         try:
             while ready or waiting or inflight:
@@ -525,8 +706,8 @@ class _Engine:
                     deadlines.pop(future, None)
                     error = future.exception()
                     if error is None:
-                        _, result = future.result()
-                        self._succeed(work, result)
+                        _, result, wall = future.result()
+                        self._succeed(work, result, wall=wall)
                     elif isinstance(error, cf.BrokenExecutor):
                         broken = True
                         if self._fail(work, "crashes", f"attempt {work.attempts - 1}: worker died ({error!r})"):
@@ -574,6 +755,9 @@ class _Engine:
                     pool = None
                     self._count("pool_rebuilds")
 
+                if self.stream is not None:
+                    self.stream.heartbeat(waiting=len(ready) + len(waiting))
+
                 if self.counters["pool_rebuilds"] > rebuild_cap:
                     raise SimulationError(
                         f"supervisor: gave up after "
@@ -594,6 +778,10 @@ class _Engine:
         span = None
         if self.telemetry is not None:
             span = self.telemetry.begin(CAMPAIGN, points=len(self.specs))
+        if self.stream is not None:
+            self.stream.campaign_started(
+                points=len(self.specs), workers=self.workers
+            )
         try:
             todo = self._build_work()
             if todo:
@@ -608,6 +796,17 @@ class _Engine:
                     for key in ("ok", "cache_hits", "recomputed",
                                 "retries", "timeouts", "crashes", "quarantined")
                 })
+            if self.stream is not None:
+                # Even a sub-second campaign ships one heartbeat, so
+                # stream consumers can rely on the event being present.
+                self.stream.heartbeat(force=True)
+                self.stream.campaign_finished(dict(self.counters))
+                if self._owns_stream:
+                    self.stream.close()
+            if self._owns_flight and self.flight_root is not None:
+                from repro.telemetry.flight import purge
+
+                purge(self.flight_root)
         return self._report()
 
 

@@ -177,6 +177,7 @@ def metrics_document(
     merged = merge_metric_snapshots(
         [payload.get("metrics", {}) for payload in payloads]
     )
+    dropped = sum(payload.get("dropped_spans", 0) for payload in payloads)
     flat: Dict[str, float] = {}
     for name, data in merged["counters"].items():
         flat[f"counters.{name}"] = data["value"]
@@ -185,8 +186,10 @@ def metrics_document(
     for name, data in merged["histograms"].items():
         flat[f"histograms.{name}.count"] = data["count"]
         flat[f"histograms.{name}.total"] = data["total"]
+    flat["telemetry.dropped_spans"] = dropped
     return {
         "meta": dict(meta) if meta else {},
+        "dropped_spans": dropped,
         "merged": merged,
         "flat": flat,
         "per_point": {
@@ -209,10 +212,14 @@ def write_metrics_json(
 
 
 def render_summary(payloads: Sequence[Dict]) -> str:
-    """Human-readable digest: span counts by kind, errors, key metrics."""
+    """Human-readable digest: span counts by kind, errors, ring-buffer
+    drops, key metrics. Nonzero drops get an explicit WARNING line —
+    a silently truncated trace looks identical to a complete one."""
     span_counts: Dict[str, int] = {}
     errors = 0
+    dropped = 0
     for payload in payloads:
+        dropped += payload.get("dropped_spans", 0)
         for span in payload.get("spans", []):
             span_counts[span["kind"]] = span_counts.get(span["kind"], 0) + 1
             if span.get("level") == "error":
@@ -228,6 +235,12 @@ def render_summary(payloads: Sequence[Dict]) -> str:
         lines.append(f"  spans: {sum(span_counts.values())} ({by_kind})")
     else:
         lines.append("  spans: none")
+    if dropped:
+        lines.append(
+            f"  WARNING: {dropped} span(s) dropped by the trace ring "
+            "buffer (oldest evicted; raise the tracer capacity to keep "
+            "them)"
+        )
     if errors:
         lines.append(f"  ERROR-level spans: {errors}")
     for name, data in sorted(merged["counters"].items()):

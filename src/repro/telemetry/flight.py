@@ -1,0 +1,171 @@
+"""Flight recorder: per-attempt post-mortem breadcrumbs for campaigns.
+
+The supervisor can SIGKILL a worker mid-point (wall-clock timeout) or
+watch one die under chaos. At that moment the worker's in-memory state
+— including any telemetry spans it accumulated — is gone; the parent
+only knows *that* the point failed, not what it was doing. The flight
+recorder closes that gap the way avionics recorders do: each attempt
+keeps a **bounded ring of recent entries** and flushes it to disk at
+the moments that matter (attempt start, exception, completion), using
+atomic renames so a kill can never leave a half-written record. When a
+point is quarantined, the parent collects every surviving dump for that
+point and attaches it to the quarantine record — both on the
+:class:`~repro.harness.supervisor.PointOutcome` and, when a result
+store is in play, as a human-readable JSON post-mortem under the
+store's ``quarantine/`` namespace.
+
+What a dump can tell you, by failure mode:
+
+* **timeout / SIGKILL** — the ``attempt_started`` breadcrumb (flushed
+  before execution begins) survives: which point, which attempt, which
+  pid, when it started. The absence of ``attempt_finished`` *is* the
+  post-mortem.
+* **exception / chaos raise** — an ``exception`` entry with the repr,
+  flushed from the ``except`` path before the error propagates.
+* **success on an earlier attempt of a later-quarantined point** —
+  ``attempt_finished`` with the wall time and, when the point ran with
+  telemetry enabled, a ``span_tail`` entry carrying the last spans of
+  the point's trace ring.
+
+Entries are plain JSON-safe dicts; the ring is bounded
+(:data:`DEFAULT_CAPACITY`) with a ``dropped`` count, mirroring the
+span tracer's ring-buffer contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+#: Schema stamp written into every dump file.
+FLIGHT_SCHEMA_VERSION = 1
+
+#: Max entries retained per attempt; oldest are evicted first.
+DEFAULT_CAPACITY = 64
+
+#: How many trailing spans :meth:`FlightRecorder.note_span_tail` keeps.
+SPAN_TAIL = 16
+
+
+def _point_dir(root: str, point: int) -> str:
+    return os.path.join(root, f"point-{point:04d}")
+
+
+def record_path(root: str, point: int, attempt: int) -> str:
+    """Dump file path for one (point, attempt)."""
+    return os.path.join(_point_dir(root, point), f"attempt-{attempt:02d}.json")
+
+
+class FlightRecorder:
+    """Bounded breadcrumb ring for one point attempt.
+
+    Created inside the worker (or the serial loop) before a point
+    executes. :meth:`note` appends an entry; :meth:`flush` persists the
+    current ring atomically. Flush early, flush often — only flushed
+    state survives a SIGKILL.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        point: int,
+        attempt: int,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.root = root
+        self.point = point
+        self.attempt = attempt
+        self.capacity = capacity
+        self._entries: deque = deque(maxlen=capacity)
+        self._appended = 0
+        self._start = time.monotonic()
+
+    @property
+    def dropped(self) -> int:
+        """Entries evicted from the ring (appended minus retained)."""
+        return self._appended - len(self._entries)
+
+    def note(self, kind: str, **fields) -> None:
+        """Append one breadcrumb (fields must be JSON-safe)."""
+        entry = {"kind": kind, "t": round(time.monotonic() - self._start, 6)}
+        entry.update(fields)
+        self._entries.append(entry)
+        self._appended += 1
+
+    def note_span_tail(self, payload: Optional[Dict]) -> None:
+        """Record the tail of a telemetry snapshot's span list, if the
+        point ran with telemetry enabled (one breadcrumb, bounded)."""
+        if not payload:
+            return
+        spans = payload.get("spans") or []
+        if spans:
+            self.note(
+                "span_tail",
+                spans=spans[-SPAN_TAIL:],
+                total_spans=len(spans),
+                dropped_spans=payload.get("dropped_spans", 0),
+            )
+
+    def flush(self) -> str:
+        """Atomically persist the current ring; returns the dump path."""
+        path = record_path(self.root, self.point, self.attempt)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        record = {
+            "schema": FLIGHT_SCHEMA_VERSION,
+            "point": self.point,
+            "attempt": self.attempt,
+            "pid": os.getpid(),
+            "dropped": self.dropped,
+            "entries": list(self._entries),
+        }
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as handle:
+            json.dump(record, handle, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+
+def load_point_records(root: str, point: int) -> List[Dict]:
+    """Collect every surviving dump for one point, ordered by attempt.
+
+    Called in the parent at quarantine time. Unreadable or
+    half-formed files are skipped rather than failing the campaign —
+    a post-mortem collector must not create new failures.
+    """
+    directory = _point_dir(root, point)
+    records: List[Dict] = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return records
+    for name in names:
+        if not (name.startswith("attempt-") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(directory, name)) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    records.sort(key=lambda record: record.get("attempt", 0))
+    return records
+
+
+def purge(root: str) -> None:
+    """Remove a flight directory tree (campaign-end cleanup)."""
+    shutil.rmtree(root, ignore_errors=True)
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
+    "load_point_records",
+    "purge",
+    "record_path",
+]

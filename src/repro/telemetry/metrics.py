@@ -221,9 +221,26 @@ def merge_metric_snapshots(snapshots: List[Dict]) -> Dict:
     Counters and histogram counts/totals add; gauge and histogram
     min/max envelopes widen; histogram edges must agree (they come from
     the same wiring code, so a mismatch means incompatible payloads).
+    Likewise a metric *name* must be the same kind in every snapshot —
+    one worker's counter silently summing into another worker's gauge
+    would corrupt both, so kind conflicts raise.
     """
     merged: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+    kinds: Dict[str, str] = {}
+
+    def claim(name: str, kind: str) -> None:
+        previous = kinds.setdefault(name, kind)
+        if previous != kind:
+            raise ReproError(
+                f"cannot merge metric {name!r}: registered as a "
+                f"{previous[:-1]} in one snapshot and a {kind[:-1]} "
+                "in another"
+            )
+
     for snap in snapshots:
+        for kind in ("counters", "gauges", "histograms"):
+            for name in snap.get(kind, {}):
+                claim(name, kind)
         for name, data in snap.get("counters", {}).items():
             entry = merged["counters"].setdefault(
                 name, {"unit": data.get("unit", ""), "value": 0}

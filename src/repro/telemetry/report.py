@@ -1,0 +1,759 @@
+"""Run-report generator: ``python -m repro report <experiment>``.
+
+One command turns a campaign into a self-contained artifact a human (or
+a dashboard) can read without re-running anything:
+
+* runs the experiment under the supervised engine with telemetry
+  enabled (honoring ``--resume``/``--store``, so a warm result store
+  renders a report without recomputing a single point);
+* watches its own campaign through an injected
+  :class:`repro.telemetry.stream.CampaignStream` — that is where
+  per-tier wall times, and therefore events/sec, come from (result
+  objects know event counts; only the stream saw the clock) — and can
+  simultaneously persist the NDJSON stream (``--stream``) and render
+  live progress (``--progress``);
+* writes ``<experiment>.report.md`` and ``<experiment>.report.html``
+  (self-contained, inline CSS, no external assets): campaign counters,
+  per-tier throughput, paper side-by-side (Table 2 / Table 3 goldens
+  when the experiment carries them), VOL-length and bus-occupancy
+  histograms, the supervisor's retry/chaos history, and the flight-
+  recorder post-mortem of every quarantined point;
+* writes ``metrics.prom`` — a Prometheus text exposition of the merged
+  metrics registry plus the campaign counters, ready for a scraper
+  once the service front-end lands.
+
+Exit codes follow the repo convention: **0** complete campaign and
+report written, **1** partial campaign (quarantined points — the report
+is still written; that is when you need it most), **2** usage or
+configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html as html_module
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigError, ReproError
+
+#: Output formats the CLI accepts.
+FORMATS = ("md", "html")
+
+#: Histograms the report charts first, in this order, when present.
+FEATURED_HISTOGRAMS = ("svc.vol_length", "bus.occupancy_cycles")
+
+#: Fixed Prometheus exposition filename (ISSUE/service contract).
+PROM_FILENAME = "metrics.prom"
+
+#: Which measured metric the experiment's paper goldens refer to.
+_PAPER_METRICS = {
+    "table2": ("miss_ratio", "miss ratio"),
+    "table3": ("bus_utilization", "bus utilization"),
+}
+
+
+def _mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+# -- structured collection ---------------------------------------------------
+
+
+def collect_report(
+    result, stream=None, meta: Optional[Dict] = None
+) -> Dict:
+    """Fold an ``ExperimentResult`` (+ optional campaign stream) into
+    the plain-data structure both renderers consume."""
+    from repro.telemetry.metrics import merge_metric_snapshots
+
+    points = list(result.points)
+    machines: List[str] = []
+    for point in points:
+        if point.machine not in machines:
+            machines.append(point.machine)
+    benchmarks: List[str] = []
+    for point in points:
+        if point.benchmark not in benchmarks:
+            benchmarks.append(point.benchmark)
+
+    counters: Dict[str, int] = {}
+    for campaign in result.campaigns:
+        for name, value in campaign.counters.items():
+            counters[name] = counters.get(name, 0) + value
+
+    tier_walls = stream.tier_stats() if stream is not None else {}
+    tiers = []
+    for machine in machines:
+        rows = [p for p in points if p.machine == machine]
+        walls = tier_walls.get(machine, {})
+        tiers.append(
+            {
+                "machine": machine,
+                "points": len(rows),
+                "mean_ipc": round(_mean([p.ipc for p in rows]), 4),
+                "mean_miss": round(_mean([p.miss_ratio for p in rows]), 4),
+                "mean_bus_util": round(
+                    _mean([p.bus_utilization for p in rows]), 4
+                ),
+                "events": sum(p.instructions for p in rows),
+                "wall_s": round(walls.get("wall_s", 0.0), 3),
+                "events_per_sec": walls.get("events_per_sec", 0),
+            }
+        )
+
+    paper_rows = []
+    metric_name, metric_label = _PAPER_METRICS.get(
+        result.experiment, ("ipc", "IPC")
+    )
+    if result.paper:
+        for benchmark in benchmarks:
+            goldens = result.paper.get(benchmark, {})
+            for machine in machines:
+                golden = goldens.get(machine)
+                if golden is None:
+                    continue
+                point = result.point(benchmark, machine)
+                measured = (
+                    getattr(point, metric_name) if point is not None else None
+                )
+                paper_rows.append(
+                    {
+                        "benchmark": benchmark,
+                        "machine": machine,
+                        "measured": (
+                            round(measured, 4) if measured is not None else None
+                        ),
+                        "paper": golden,
+                    }
+                )
+
+    payloads = [p.telemetry for p in points if p.telemetry]
+    merged = merge_metric_snapshots(
+        [payload.get("metrics", {}) for payload in payloads]
+    )
+    dropped = sum(payload.get("dropped_spans", 0) for payload in payloads)
+
+    quarantined = []
+    for campaign in result.campaigns:
+        for outcome in campaign.quarantined:
+            quarantined.append(
+                {
+                    "point": outcome.index,
+                    "benchmark": getattr(outcome.spec, "benchmark", "?"),
+                    "machine": getattr(outcome.spec, "machine", "?"),
+                    "attempts": outcome.attempts,
+                    "failures": list(outcome.failures),
+                    "flight": outcome.flight or [],
+                }
+            )
+
+    return {
+        "meta": {
+            "experiment": result.experiment,
+            "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+            "benchmarks": benchmarks,
+            "machines": machines,
+            "paper_metric": metric_label,
+            **(meta or {}),
+        },
+        "counters": counters,
+        "tiers": tiers,
+        "paper": paper_rows,
+        "metrics": merged,
+        "dropped_spans": dropped,
+        "quarantined": quarantined,
+    }
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(
+        ch if (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+    return f"repro_{cleaned}"
+
+
+def prometheus_exposition(
+    merged: Dict, campaign_counters: Optional[Dict[str, int]] = None
+) -> str:
+    """Prometheus text format (0.0.4) for a merged metrics snapshot.
+
+    Histogram bucket edges are inclusive upper bounds on both sides, so
+    our buckets map directly onto cumulative ``le`` buckets.
+    """
+    lines: List[str] = []
+    for name, data in sorted(merged.get("counters", {}).items()):
+        metric = _prom_name(name)
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {data['value']}")
+    for name, data in sorted(merged.get("gauges", {}).items()):
+        metric = _prom_name(name)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {data['value']}")
+    for name, data in sorted(merged.get("histograms", {}).items()):
+        metric = _prom_name(name)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for edge, count in zip(data["edges"], data["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{edge}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {data["count"]}')
+        lines.append(f"{metric}_sum {data['total']}")
+        lines.append(f"{metric}_count {data['count']}")
+    for name, value in sorted((campaign_counters or {}).items()):
+        metric = _prom_name(f"campaign_{name}")
+        lines.append(f"# HELP {metric} supervisor campaign counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    return "\n".join(lines) + "\n"
+
+
+# -- rendering helpers -------------------------------------------------------
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _html_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    esc = html_module.escape
+    head = "".join(f"<th>{esc(str(h))}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{esc(str(c))}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _histogram_rows(data: Dict) -> List:
+    """(label, count) per bucket, including the overflow bucket."""
+    rows = []
+    for edge, count in zip(data["edges"], data["counts"]):
+        rows.append((f"<= {edge}", count))
+    rows.append((f"> {data['edges'][-1]}", data["counts"][-1]))
+    return rows
+
+
+def _histogram_order(merged: Dict) -> List[str]:
+    names = [n for n in FEATURED_HISTOGRAMS if n in merged["histograms"]]
+    names.extend(
+        n for n in sorted(merged["histograms"]) if n not in names
+    )
+    return names
+
+
+def _tier_table_rows(report: Dict) -> List[List]:
+    rows = []
+    for tier in report["tiers"]:
+        rows.append(
+            [
+                tier["machine"],
+                tier["points"],
+                f"{tier['mean_ipc']:.3f}",
+                f"{tier['mean_miss']:.3f}",
+                f"{tier['mean_bus_util']:.3f}",
+                tier["events"],
+                f"{tier['wall_s']:.3f}" if tier["wall_s"] else "-",
+                tier["events_per_sec"] or "-",
+            ]
+        )
+    return rows
+
+
+_TIER_HEADERS = (
+    "machine", "points", "mean IPC", "mean miss", "mean bus util",
+    "events", "wall (s)", "events/sec",
+)
+
+
+def render_markdown(report: Dict) -> str:
+    meta = report["meta"]
+    lines = [
+        f"# Run report: {meta['experiment']}",
+        "",
+        f"Generated {meta['generated']} · "
+        f"benchmarks: {', '.join(meta['benchmarks']) or '-'} · "
+        f"machines: {', '.join(meta['machines']) or '-'}",
+        "",
+        "## Campaign",
+        "",
+    ]
+    counters = report["counters"]
+    if counters:
+        lines.append(
+            _md_table(
+                ("counter", "value"),
+                [(k, counters[k]) for k in sorted(counters)],
+            )
+        )
+    else:
+        lines.append("No campaign counters (no points executed).")
+    lines += ["", "## Per-tier throughput", ""]
+    lines.append(_md_table(_TIER_HEADERS, _tier_table_rows(report)))
+    lines.append(
+        "\n(events/sec comes from the campaign event stream; cached "
+        "points contribute events but no wall time.)"
+    )
+    if report["paper"]:
+        metric = meta["paper_metric"]
+        lines += ["", f"## Paper comparison ({metric})", ""]
+        lines.append(
+            _md_table(
+                ("benchmark", "machine", f"measured {metric}",
+                 f"paper {metric}"),
+                [
+                    (
+                        row["benchmark"],
+                        row["machine"],
+                        "-" if row["measured"] is None else row["measured"],
+                        row["paper"],
+                    )
+                    for row in report["paper"]
+                ],
+            )
+        )
+    merged = report["metrics"]
+    names = _histogram_order(merged)
+    if names:
+        lines += ["", "## Histograms", ""]
+        for name in names:
+            data = merged["histograms"][name]
+            if not data["count"]:
+                continue
+            unit = f" {data['unit']}" if data.get("unit") else ""
+            mean = data["total"] / data["count"]
+            lines.append(
+                f"### {name} (n={data['count']}, mean={mean:.2f}{unit})"
+            )
+            lines.append("")
+            lines.append("```")
+            peak = max(
+                (count for _, count in _histogram_rows(data)), default=1
+            )
+            for label, count in _histogram_rows(data):
+                bar = "#" * (round(40 * count / peak) if peak else 0)
+                lines.append(f"{label:>8s}  {count:>10d}  {bar}")
+            lines.append("```")
+            lines.append("")
+    if report["dropped_spans"]:
+        lines.append(
+            f"**WARNING:** {report['dropped_spans']} span(s) dropped by "
+            "the trace ring buffer."
+        )
+    if report["quarantined"]:
+        lines += ["", "## Quarantined points (flight recorder)", ""]
+        for item in report["quarantined"]:
+            lines.append(
+                f"### point {item['point']}: {item['benchmark']}/"
+                f"{item['machine']} ({item['attempts']} attempts, "
+                f"{len(item['flight'])} flight record(s))"
+            )
+            for failure in item["failures"]:
+                lines.append(f"- {failure}")
+            for record in item["flight"]:
+                lines.append(
+                    f"- flight attempt {record.get('attempt')}: "
+                    + ", ".join(
+                        entry.get("kind", "?")
+                        for entry in record.get("entries", [])
+                    )
+                )
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+_CSS = (
+    "body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:60rem;"
+    "padding:0 1rem;color:#1a1a2e}"
+    "table{border-collapse:collapse;margin:1rem 0}"
+    "th,td{border:1px solid #c8c8d8;padding:0.3rem 0.6rem;text-align:left}"
+    "th{background:#eef}"
+    ".bar{background:#4a6fa5;height:0.8rem;display:inline-block}"
+    ".warn{color:#a33;font-weight:bold}"
+    "h1,h2,h3{color:#16213e}"
+)
+
+
+def render_html(report: Dict) -> str:
+    esc = html_module.escape
+    meta = report["meta"]
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>Run report: {esc(meta['experiment'])}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Run report: {esc(meta['experiment'])}</h1>",
+        f"<p>Generated {esc(meta['generated'])} · benchmarks: "
+        f"{esc(', '.join(meta['benchmarks']) or '-')} · machines: "
+        f"{esc(', '.join(meta['machines']) or '-')}</p>",
+        "<h2>Campaign</h2>",
+    ]
+    counters = report["counters"]
+    if counters:
+        parts.append(
+            _html_table(
+                ("counter", "value"),
+                [(k, counters[k]) for k in sorted(counters)],
+            )
+        )
+    else:
+        parts.append("<p>No campaign counters (no points executed).</p>")
+    parts.append("<h2>Per-tier throughput</h2>")
+    parts.append(_html_table(_TIER_HEADERS, _tier_table_rows(report)))
+    if report["paper"]:
+        metric = meta["paper_metric"]
+        parts.append(f"<h2>Paper comparison ({esc(metric)})</h2>")
+        parts.append(
+            _html_table(
+                ("benchmark", "machine", f"measured {metric}",
+                 f"paper {metric}"),
+                [
+                    (
+                        row["benchmark"],
+                        row["machine"],
+                        "-" if row["measured"] is None else row["measured"],
+                        row["paper"],
+                    )
+                    for row in report["paper"]
+                ],
+            )
+        )
+    merged = report["metrics"]
+    names = _histogram_order(merged)
+    if names:
+        parts.append("<h2>Histograms</h2>")
+        for name in names:
+            data = merged["histograms"][name]
+            if not data["count"]:
+                continue
+            unit = f" {data['unit']}" if data.get("unit") else ""
+            mean = data["total"] / data["count"]
+            parts.append(
+                f"<h3>{esc(name)} (n={data['count']}, "
+                f"mean={mean:.2f}{esc(unit)})</h3>"
+            )
+            rows = _histogram_rows(data)
+            peak = max((count for _, count in rows), default=1) or 1
+            bar_rows = [
+                (
+                    label,
+                    count,
+                    f"<span class='bar' "
+                    f"style='width:{round(300 * count / peak)}px'></span>",
+                )
+                for label, count in rows
+            ]
+            head = "".join(
+                f"<th>{esc(h)}</th>" for h in ("bucket", "count", "")
+            )
+            body = "".join(
+                f"<tr><td>{esc(label)}</td><td>{count}</td><td>{bar}</td></tr>"
+                for label, count, bar in bar_rows
+            )
+            parts.append(
+                f"<table><thead><tr>{head}</tr></thead>"
+                f"<tbody>{body}</tbody></table>"
+            )
+    if report["dropped_spans"]:
+        parts.append(
+            f"<p class='warn'>WARNING: {report['dropped_spans']} span(s) "
+            "dropped by the trace ring buffer.</p>"
+        )
+    if report["quarantined"]:
+        parts.append("<h2>Quarantined points (flight recorder)</h2>")
+        for item in report["quarantined"]:
+            parts.append(
+                f"<h3>point {item['point']}: {esc(item['benchmark'])}/"
+                f"{esc(item['machine'])} ({item['attempts']} attempts, "
+                f"{len(item['flight'])} flight record(s))</h3>"
+            )
+            failures = "".join(
+                f"<li>{esc(failure)}</li>" for failure in item["failures"]
+            )
+            flights = "".join(
+                "<li>flight attempt "
+                f"{record.get('attempt')}: "
+                + esc(
+                    ", ".join(
+                        entry.get("kind", "?")
+                        for entry in record.get("entries", [])
+                    )
+                )
+                + "</li>"
+                for record in item["flight"]
+            )
+            parts.append(f"<ul>{failures}{flights}</ul>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+def write_report_files(
+    report: Dict,
+    output_dir: str,
+    formats: Sequence[str] = FORMATS,
+    campaign_counters: Optional[Dict[str, int]] = None,
+) -> Dict[str, str]:
+    """Write the requested renderings + the Prometheus exposition;
+    returns ``{kind: path}``."""
+    os.makedirs(output_dir, exist_ok=True)
+    experiment = report["meta"]["experiment"]
+    written: Dict[str, str] = {}
+    if "md" in formats:
+        path = os.path.join(output_dir, f"{experiment}.report.md")
+        with open(path, "w") as handle:
+            handle.write(render_markdown(report))
+        written["md"] = path
+    if "html" in formats:
+        path = os.path.join(output_dir, f"{experiment}.report.html")
+        with open(path, "w") as handle:
+            handle.write(render_html(report))
+        written["html"] = path
+    prom_path = os.path.join(output_dir, PROM_FILENAME)
+    with open(prom_path, "w") as handle:
+        handle.write(
+            prometheus_exposition(
+                report["metrics"],
+                campaign_counters
+                if campaign_counters is not None
+                else report["counters"],
+            )
+        )
+    written["prom"] = prom_path
+    return written
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Run an experiment campaign and render an aggregated "
+        "HTML/markdown run report plus a Prometheus metrics exposition.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id from the registry (see 'python -m repro list')",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated SPEC95 benchmark subset",
+    )
+    parser.add_argument(
+        "--designs",
+        default=None,
+        help="comma-separated design tiers (ablation_designs only; "
+        "e.g. base,ec,ecs,hr,rl,final)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale factor (default: REPRO_SCALE or 1.0)",
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        help="worker processes (0 = one per CPU; default: REPRO_WORKERS "
+        "or serial)",
+    )
+    parser.add_argument(
+        "--timeout",
+        default=None,
+        help="per-point wall-clock timeout in seconds",
+    )
+    parser.add_argument(
+        "--retries",
+        default=None,
+        help="retry budget per failing point before quarantine",
+    )
+    parser.add_argument(
+        "--chaos",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject a seeded chaos plan into the campaign",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve already-computed points from the result store",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result-store root for --resume",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default="reports",
+        help="directory for the report artifacts (default: reports)",
+    )
+    parser.add_argument(
+        "--format",
+        default=",".join(FORMATS),
+        help="comma-separated output formats: md,html (metrics.prom is "
+        "always written)",
+    )
+    parser.add_argument(
+        "--stream",
+        default=None,
+        metavar="FILE",
+        help="also persist the campaign's NDJSON event stream to FILE",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live campaign progress on stderr",
+    )
+    return parser
+
+
+def report_main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    from repro.harness.experiments import EXPERIMENTS
+    from repro.workloads.spec95 import BENCHMARKS
+
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            "see 'python -m repro list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    formats = tuple(f for f in args.format.split(",") if f)
+    unknown_formats = [f for f in formats if f not in FORMATS]
+    if unknown_formats or not formats:
+        print(
+            f"unknown formats {unknown_formats or args.format!r}: "
+            f"choose from {','.join(FORMATS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    kwargs = {}
+    if args.benchmarks:
+        requested = tuple(name.strip() for name in args.benchmarks.split(","))
+        unknown = [name for name in requested if name not in BENCHMARKS]
+        if unknown:
+            print(f"unknown benchmarks: {unknown}", file=sys.stderr)
+            return 2
+        kwargs["benchmarks"] = requested
+    if args.designs:
+        if args.experiment != "ablation_designs":
+            print(
+                "--designs only applies to the ablation_designs experiment",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.svc.designs import DESIGNS
+
+        designs = tuple(name.strip() for name in args.designs.split(","))
+        unknown = [name for name in designs if name not in DESIGNS]
+        if unknown:
+            print(
+                f"unknown designs: {unknown} "
+                f"(choose from {','.join(sorted(DESIGNS))})",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["designs"] = designs
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.workers is not None:
+        kwargs["workers"] = args.workers
+    if args.resume:
+        kwargs["resume"] = True
+    # Telemetry on: the report's histograms and metrics.prom come from
+    # the merged per-point snapshots.
+    kwargs["telemetry"] = True
+
+    from repro.harness.parallel import resolve_workers
+    from repro.harness.supervisor import (
+        SupervisorConfig,
+        resolve_point_timeout,
+        resolve_retries,
+        set_default_supervisor,
+    )
+    from repro.telemetry.stream import CampaignStream
+
+    stream = CampaignStream(path=args.stream, progress=args.progress)
+    try:
+        resolve_workers(args.workers)
+        supervisor = SupervisorConfig(
+            point_timeout=resolve_point_timeout(args.timeout),
+            retries=resolve_retries(args.retries),
+            chaos_seed=args.chaos,
+            resume=args.resume,
+            store_root=args.store,
+            stream=stream,
+        )
+    except ConfigError as error:
+        stream.close()
+        print(f"config error: {error}", file=sys.stderr)
+        return 2
+
+    previous = set_default_supervisor(supervisor)
+    try:
+        result = EXPERIMENTS[args.experiment](**kwargs)
+    except ConfigError as error:
+        print(f"config error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"run failed: {error}", file=sys.stderr)
+        return 1
+    finally:
+        set_default_supervisor(previous)
+        stream.close()
+
+    report = collect_report(result, stream=stream)
+    written = write_report_files(report, args.output_dir, formats)
+    for kind, path in sorted(written.items()):
+        print(f"report[{kind}]: {path}")
+    for campaign in result.campaigns:
+        print(f"campaign: {campaign.summary()}", file=sys.stderr)
+    quarantined = result.quarantined_count
+    if quarantined:
+        print(
+            f"PARTIAL CAMPAIGN: {quarantined} point(s) quarantined; the "
+            "report carries their flight-recorder post-mortems",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+__all__ = [
+    "FORMATS",
+    "PROM_FILENAME",
+    "build_parser",
+    "collect_report",
+    "prometheus_exposition",
+    "render_html",
+    "render_markdown",
+    "report_main",
+    "write_report_files",
+]
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    raise SystemExit(report_main())

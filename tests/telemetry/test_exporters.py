@@ -127,3 +127,39 @@ def test_render_summary_digest():
     assert "ERROR-level spans: 1" in text
     assert "check.violations: 1" in text
     assert "svc.snoop_fanout: n=1" in text
+
+
+def dropped_payloads():
+    """Two payloads whose bounded tracers evicted spans."""
+    payloads = []
+    for extra in (3, 2):
+        tel = Telemetry(capacity=1)
+        for index in range(1 + extra):
+            span = tel.begin("mem_op", f"op{index}")
+            tel.end(span)
+        payloads.append(tel.snapshot())
+    return payloads
+
+
+def test_metrics_document_surfaces_dropped_spans():
+    document = metrics_document(dropped_payloads())
+    expected = sum(p["dropped_spans"] for p in dropped_payloads())
+    assert expected > 0
+    assert document["dropped_spans"] == expected
+    assert document["flat"]["telemetry.dropped_spans"] == expected
+
+
+def test_metrics_document_zero_dropped_spans():
+    document = metrics_document(example_payloads())
+    assert document["dropped_spans"] == 0
+    assert document["flat"]["telemetry.dropped_spans"] == 0
+
+
+def test_render_summary_warns_on_dropped_spans():
+    text = render_summary(dropped_payloads())
+    assert "WARNING" in text
+    assert "dropped by the trace ring buffer" in text
+
+
+def test_render_summary_silent_when_nothing_dropped():
+    assert "dropped" not in render_summary(example_payloads())

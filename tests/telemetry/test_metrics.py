@@ -112,3 +112,52 @@ def test_counter_inc_amount():
     counter.inc()
     counter.inc(4)
     assert counter.value == 5
+
+
+class TestMergeEdgeCases:
+    """Satellite coverage: degenerate and conflicting snapshot lists."""
+
+    def test_empty_list_merges_to_empty_groups(self):
+        merged = merge_metric_snapshots([])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_empty_snapshots_merge_to_empty_groups(self):
+        merged = merge_metric_snapshots([{}, {"counters": {}}])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_single_snapshot_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.histogram("h", (1, 2)).observe(1)
+        snap = registry.snapshot()
+        merged = merge_metric_snapshots([snap])
+        assert merged["counters"]["c"]["value"] == 7
+        assert merged["histograms"]["h"]["count"] == 1
+
+    def test_cross_kind_name_conflict_raises(self):
+        counter_snap = {"counters": {"m": {"unit": "", "value": 1}}}
+        gauge_snap = {
+            "gauges": {
+                "m": {"unit": "", "value": 2, "min": 2, "max": 2, "samples": 1}
+            }
+        }
+        with pytest.raises(ReproError) as excinfo:
+            merge_metric_snapshots([counter_snap, gauge_snap])
+        message = str(excinfo.value)
+        assert "'m'" in message and "counter" in message and "gauge" in message
+
+    def test_cross_kind_conflict_within_one_snapshot_raises(self):
+        snap = {
+            "counters": {"m": {"unit": "", "value": 1}},
+            "histograms": {"m": Histogram("m", (1,)).to_dict()},
+        }
+        with pytest.raises(ReproError):
+            merge_metric_snapshots([snap])
+
+    def test_edge_mismatch_error_names_both_edge_sets(self):
+        a = {"histograms": {"h": Histogram("h", (1, 2)).to_dict()}}
+        b = {"histograms": {"h": Histogram("h", (1, 3)).to_dict()}}
+        with pytest.raises(ReproError) as excinfo:
+            merge_metric_snapshots([a, b])
+        message = str(excinfo.value)
+        assert "[1, 2]" in message and "[1, 3]" in message

@@ -207,3 +207,65 @@ def test_bench_unknown_experiment_is_usage_error(capsys, tmp_path):
         ])
     assert exc.value.code == 2
     capsys.readouterr()
+
+
+# -- campaign event stream flags --------------------------------------------
+
+
+def test_stream_flag_writes_valid_ndjson(tmp_path, capsys):
+    from repro.telemetry.stream import read_stream, validate_stream_file
+
+    path = tmp_path / "campaign.ndjson"
+    code = main([
+        "fig19", "--benchmarks", "compress", "--scale", "0.02",
+        "--stream", str(path),
+    ])
+    assert code == 0
+    capsys.readouterr()
+    assert validate_stream_file(str(path)) == []
+    events = read_stream(str(path))
+    kinds = [event["event"] for event in events]
+    assert kinds[0] == "campaign_started"
+    assert kinds[-1] == "campaign_finished"
+    assert kinds.count("point_started") == 5
+    assert kinds.count("point_finished") == 5
+    assert "heartbeat" in kinds
+
+
+def test_progress_flag_renders_campaign_line(capsys):
+    code = main([
+        "fig19", "--benchmarks", "compress", "--scale", "0.02",
+        "--progress",
+    ])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "campaign:" in err
+    assert "done" in err
+
+
+def test_quarantine_mentions_flight_records(capsys):
+    code = main([
+        "table2", "--benchmarks", "gcc", "--scale", "0.02",
+        "--retries", "0", "--chaos", "7",
+    ])
+    assert code == 1
+    assert "flight record(s) attached" in capsys.readouterr().err
+
+
+# -- report subcommand dispatch ---------------------------------------------
+
+
+def test_report_dispatch_reaches_report_cli(capsys):
+    assert main(["report", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_report_dispatch_end_to_end(tmp_path, capsys):
+    code = main([
+        "report", "fig19", "--benchmarks", "compress", "--scale", "0.02",
+        "--output-dir", str(tmp_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "report[md]" in out
+    assert (tmp_path / "metrics.prom").exists()

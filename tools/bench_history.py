@@ -39,8 +39,14 @@ def load_json(path):
 
 
 def history_entry(payload, timestamp):
-    """The compact per-run record appended to the history."""
-    entry = {
+    """The compact per-run record appended to the history.
+
+    ``tiers`` is always present (empty when the payload was produced
+    with ``--skip-tiers``), and records the gate floor next to each
+    tier's measured events/sec so the trajectory shows the gate
+    tightening over time, not just the measurements.
+    """
+    return {
         "timestamp": round(timestamp, 3),
         "meta": payload.get("meta", {}),
         "experiments": {
@@ -50,14 +56,14 @@ def history_entry(payload, timestamp):
         "total_events_per_sec": payload.get("total", {}).get(
             "events_per_sec", 0
         ),
+        "tiers": {
+            tier: {
+                "events_per_sec": data.get("events_per_sec", 0),
+                "floor": data.get("floor"),
+            }
+            for tier, data in payload.get("tiers", {}).get("tiers", {}).items()
+        },
     }
-    tiers = payload.get("tiers", {}).get("tiers", {})
-    if tiers:
-        entry["tiers"] = {
-            tier: data.get("events_per_sec", 0)
-            for tier, data in tiers.items()
-        }
-    return entry
 
 
 def ratchet_failures(payload, baseline):

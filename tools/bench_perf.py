@@ -231,17 +231,28 @@ def measure_supervisor_overhead(benchmarks, scale, repeats=SUPERVISOR_REPEATS):
     """Time a fig19 sweep through the old bare fan-out and the
     supervised engine, no faults in either.
 
+    The supervised mode runs with the NDJSON campaign stream enabled
+    (which also auto-enables the per-attempt flight recorder), so the
+    budget gates the full observability-on configuration — the one CI
+    and the report generator actually run — not a stripped-down engine.
+
     Measured serially (one worker, in-process) so the comparison
     isolates the engine's bookkeeping — retry scaffolding, outcome
-    accounting, campaign reporting — from process-pool scheduling noise,
-    which at CI scales dwarfs a 3% effect. The parallel path's wall time
-    is separately covered by the main regression gate.
+    accounting, stream/flight emission, campaign reporting — from
+    process-pool scheduling noise, which at CI scales dwarfs a 3%
+    effect. The parallel path's wall time is separately covered by the
+    main regression gate.
     """
+    import shutil
+    import tempfile
+
     from repro.harness.experiments import figure19_specs
     from repro.harness.parallel import execute_point, parallel_map
     from repro.harness.supervisor import SupervisorConfig, run_campaign
 
     specs = figure19_specs(benchmarks=benchmarks, scale=scale)
+    scratch = tempfile.mkdtemp(prefix="repro-bench-stream-")
+    stream_path = os.path.join(scratch, "campaign.ndjson")
 
     def timed(run):
         start = time.perf_counter()
@@ -254,14 +265,25 @@ def measure_supervisor_overhead(benchmarks, scale, repeats=SUPERVISOR_REPEATS):
     # engine 19% *faster* than the bare fan-out, pure host drift).
     modes = (
         ("bare", lambda: parallel_map(execute_point, specs, workers=1)),
-        ("supervised", lambda: run_campaign(specs, SupervisorConfig(workers=1))),
+        (
+            "supervised",
+            lambda: run_campaign(
+                specs, SupervisorConfig(workers=1, stream_path=stream_path)
+            ),
+        ),
     )
-    rounds = []
-    for round_index in range(repeats):
-        offset = round_index % len(modes)
-        rounds.append(
-            {name: timed(run) for name, run in modes[offset:] + modes[:offset]}
-        )
+    try:
+        rounds = []
+        for round_index in range(repeats):
+            offset = round_index % len(modes)
+            rounds.append(
+                {
+                    name: timed(run)
+                    for name, run in modes[offset:] + modes[:offset]
+                }
+            )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
     bare = min(r["bare"] for r in rounds)
     supervised = min(r["supervised"] for r in rounds)
     overhead = min(r["supervised"] / r["bare"] for r in rounds) - 1.0
@@ -271,6 +293,7 @@ def measure_supervisor_overhead(benchmarks, scale, repeats=SUPERVISOR_REPEATS):
         "scale": scale,
         "repeats": repeats,
         "points": len(specs),
+        "streaming": True,
         "bare_wall_s": round(bare, 4),
         "supervised_wall_s": round(supervised, 4),
         "overhead": round(overhead, 4),
@@ -550,7 +573,7 @@ def main(argv=None) -> int:
         supervisor = measure_supervisor_overhead(benchmarks, OVERHEAD_SCALE)
         payload["supervisor"] = supervisor
         print(
-            f"supervisor: bare {supervisor['bare_wall_s']:.3f}s, "
+            f"supervisor (streaming on): bare {supervisor['bare_wall_s']:.3f}s, "
             f"supervised {supervisor['supervised_wall_s']:.3f}s "
             f"({supervisor['overhead']:+.1%})",
             file=sys.stderr,

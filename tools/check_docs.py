@@ -14,8 +14,8 @@ mechanical, so CI checks them mechanically over ``README.md`` and
   inline code span must parse against the *real* argument parsers —
   the top-level experiment CLI (``repro.cli.build_parser``) and the
   dispatched ``replay`` / ``modelcheck`` / ``litmus`` / ``trace`` /
-  ``bench`` subcommand parsers — and top-level experiment ids must
-  exist in the ``EXPERIMENTS`` registry.
+  ``bench`` / ``report`` subcommand parsers — and top-level experiment
+  ids must exist in the ``EXPERIMENTS`` registry.
 
 Commands containing ``<placeholder>`` tokens are validated for
 subcommand shape only (the placeholder is substituted with a dummy
@@ -191,6 +191,9 @@ def check_command(command):
         return _parse_with(build_parser(), tokens[1:])
     if subcommand == "litmus":
         from repro.litmus.runner import build_parser
+        return _parse_with(build_parser(), tokens[1:])
+    if subcommand == "report":
+        from repro.telemetry.report import build_parser
         return _parse_with(build_parser(), tokens[1:])
 
     error = _parse_with(top_parser(), tokens)
